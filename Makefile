@@ -1,0 +1,38 @@
+# Convenience targets for the randfill reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table and figure at quick scale.
+experiments: build
+	$(GO) run ./cmd/experiments -run all
+
+# Regenerate the security tables at (near) paper scale. Slow.
+experiments-full: build
+	$(GO) run ./cmd/experiments -run Table3 -scale full
+	$(GO) run ./cmd/experiments -run Figure2 -scale full
+
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/traceio/
+	$(GO) test -fuzz=FuzzEncryptMatchesStdlib -fuzztime=30s ./internal/aes/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run NAME|all] [-scale quick|full] [flags]
+//
+// Each experiment prints the rows the corresponding table or figure in the
+// paper reports. See DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"randfill/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (Figure2, Table3, Figure5..Figure10, Traffic, Prefetch) or 'all'")
+	scale := flag.String("scale", "quick", "budget scale: quick or full")
+	seed := flag.Uint64("seed", 0, "override the random seed (0 = scale default)")
+	attackCap := flag.Int("attack-cap", 0, "override the Table3 measurements-to-success cap")
+	mcTrials := flag.Int("mc-trials", 0, "override the Table3 Monte Carlo trial count")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch strings.ToLower(*scale) {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *attackCap != 0 {
+		sc.AttackMaxSamples = *attackCap
+	}
+	if *mcTrials != 0 {
+		sc.MonteCarloTrials = *mcTrials
+	}
+
+	var todo []experiments.Experiment
+	if strings.EqualFold(*run, "all") {
+		todo = experiments.All()
+	} else {
+		e, ok := experiments.ByName(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows the registry\n", *run)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Println(e.Run(sc))
+		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

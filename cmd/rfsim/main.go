@@ -1,0 +1,170 @@
+// Command rfsim runs one workload on the timing simulator under a chosen
+// cache configuration and fill policy, and prints the performance counters.
+//
+// Examples:
+//
+//	rfsim -workload aes                          # demand-fetch baseline
+//	rfsim -workload aes -window -16,15           # random fill cache
+//	rfsim -workload libquantum -window 0,15      # streaming speedup
+//	rfsim -workload aes -l1kind plcache -mode preload
+//	rfsim -workload sjeng -l1 8192 -ways 1 -mode disable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"randfill/internal/aes"
+	"randfill/internal/cache"
+	"randfill/internal/mem"
+	"randfill/internal/prefetch"
+	"randfill/internal/rng"
+	"randfill/internal/sim"
+	"randfill/internal/traceio"
+	"randfill/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "aes", "aes, aesdec, or a benchmark: "+strings.Join(workloads.Names(), ", "))
+	traceFile := flag.String("trace", "", "replay a trace file (see cmd/rftrace) instead of generating a workload")
+	l1size := flag.Int("l1", 32*1024, "L1 data cache size in bytes")
+	ways := flag.Int("ways", 4, "L1 associativity")
+	l1kind := flag.String("l1kind", "sa", "L1 architecture: sa, newcache, plcache, rpcache, nomo")
+	window := flag.String("window", "0,0", "random fill window as 'a,b' meaning [i-a, i+b]")
+	mode := flag.String("mode", "", "fill mode override: demand, randomfill, disable, preload")
+	mshrs := flag.Int("mshrs", 4, "miss queue entries")
+	accesses := flag.Int("n", 500000, "benchmark trace length (ignored for aes)")
+	bytes := flag.Int("bytes", 32*1024, "AES CBC input size")
+	seed := flag.Uint64("seed", 1, "random seed")
+	steady := flag.Bool("steady", false, "warm the caches with one pass and measure the second")
+	tagged := flag.Bool("prefetch", false, "attach a tagged next-line prefetcher")
+	flag.Parse()
+
+	w, err := parseWindow(*window)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.L1 = cache.Geometry{SizeBytes: *l1size, Ways: *ways}
+	cfg.L1Kind = sim.CacheKind(*l1kind)
+	cfg.MissQueue = *mshrs
+	cfg.Seed = *seed
+
+	tc := sim.ThreadConfig{}
+	switch *mode {
+	case "", "demand":
+		if !w.Zero() {
+			tc = sim.ThreadConfig{Mode: sim.ModeRandomFill, Window: w}
+		}
+	case "randomfill":
+		tc = sim.ThreadConfig{Mode: sim.ModeRandomFill, Window: w}
+	case "disable":
+		tc = sim.ThreadConfig{Mode: sim.ModeDisableSecret}
+	case "preload":
+		tc = sim.ThreadConfig{
+			Mode:          sim.ModePreload,
+			SecretRegions: aes.DefaultLayout().EncTableRegions(),
+			Owner:         1,
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	var trace mem.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err = traceio.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		*workload = *traceFile
+	} else {
+		var err error
+		trace, err = buildTrace(*workload, *accesses, *bytes, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	m := sim.New(cfg)
+	if *tagged {
+		m.Prefetcher = prefetch.NewTagged()
+	}
+	var res sim.Result
+	if *steady {
+		res = m.RunTraceSteady(tc, trace)
+	} else {
+		res = m.RunTrace(tc, trace)
+	}
+
+	fmt.Printf("workload:       %s (%d accesses, %d instructions)\n",
+		*workload, len(trace), trace.Instructions())
+	fmt.Printf("L1:             %v %s, window %v, mode %v\n", cfg.L1, cfg.L1Kind, w, tc.Mode)
+	fmt.Printf("cycles:         %.0f\n", res.Cycles)
+	fmt.Printf("IPC:            %.3f\n", res.IPC())
+	fmt.Printf("L1 MPKI:        %.2f\n", res.MPKI())
+	fmt.Printf("hits/misses:    %d / %d (+%d merged)\n", res.Hits, res.Misses, res.Merged)
+	fmt.Printf("hit rate:       %.1f%%\n", 100*res.HitRate())
+	fmt.Printf("random fills:   %d\n", res.RandomFills)
+	fmt.Printf("prefetches:     %d\n", res.Prefetches)
+	fmt.Printf("stall cycles:   %.0f (%.1f%%)\n", res.StallCycles, 100*res.StallCycles/res.Cycles)
+	fmt.Printf("L2 accesses:    %d (misses to memory: %d)\n", m.L2Accesses(), m.MemAccesses())
+}
+
+func parseWindow(s string) (rng.Window, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return rng.Window{}, fmt.Errorf("window %q: want 'a,b'", s)
+	}
+	a, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	b, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil {
+		return rng.Window{}, fmt.Errorf("window %q: bad integers", s)
+	}
+	if a < 0 {
+		a = -a // accept '-16,15' as the paper writes windows
+	}
+	return rng.Window{A: a, B: b}, nil
+}
+
+func buildTrace(name string, n, bytes int, seed uint64) (mem.Trace, error) {
+	switch name {
+	case "aes", "aesdec":
+		src := rng.New(seed)
+		var key, iv [16]byte
+		src.Bytes(key[:])
+		src.Bytes(iv[:])
+		pt := make([]byte, bytes)
+		src.Bytes(pt)
+		c, err := aes.New(key[:])
+		if err != nil {
+			return nil, err
+		}
+		tr := &aes.Tracer{Cipher: c, Layout: aes.DefaultLayout()}
+		if name == "aes" {
+			_, trace, err := tr.EncryptCBC(pt, iv[:])
+			return trace, err
+		}
+		_, trace, err := tr.DecryptCBC(pt, iv[:])
+		return trace, err
+	default:
+		g, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		return g.Gen(n, seed), nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rfsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// The storage-channel view of the defense (Section V.B): how many bits per
+// access can a Flush-Reload attacker extract through the cache state? The
+// closed-form capacity of Equation 8 is computed alongside an empirical
+// mutual-information measurement from actually mounting the attack against
+// the functional cache model — the two must agree.
+package main
+
+import (
+	"fmt"
+
+	"randfill/internal/attacks"
+	"randfill/internal/cache"
+	"randfill/internal/infotheory"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+func main() {
+	// The victim's secret-indexed table: 1 KB = 16 cache lines (M = 16),
+	// the paper's AES case study.
+	region := mem.Region{Base: 0x11000, Size: 1024}
+	m := region.NumLines()
+
+	fmt.Printf("security-critical region: %d lines; demand fetch leaks log2(%d) = %.0f bits/access\n\n",
+		m, m, infotheory.Capacity(m, 0, 0))
+
+	fmt.Printf("%-14s %12s %14s %14s\n", "window", "Eq.8 (bits)", "measured (bits)", "victim seen")
+	for _, size := range []int{1, 2, 4, 8, 16, 32, 64} {
+		w := rng.Symmetric(size)
+		analytic := infotheory.Capacity(m, w.A, w.B)
+		res := attacks.FlushReload(attacks.FlushReloadConfig{
+			NewCache: func(src *rng.Source) cache.Cache {
+				return cache.NewSetAssoc(cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}, cache.LRU{})
+			},
+			Window: w,
+			Region: region,
+			Trials: 30000,
+			Seed:   9,
+		})
+		fmt.Printf("%-14v %12.3f %14.3f %13.1f%%\n",
+			w, analytic, res.MutualInfo, 100*res.Accuracy)
+	}
+
+	fmt.Println("\nThe channel never fully closes (the boundary effect keeps a trickle")
+	fmt.Println("of information flowing), but a window twice the region size already")
+	fmt.Println("cuts the capacity by more than an order of magnitude — Figure 5.")
+}

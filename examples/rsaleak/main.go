@@ -1,0 +1,52 @@
+// Percival-style attack on public-key code: fixed-window modular
+// exponentiation reads a multiplier table entry per window of the secret
+// exponent. A Flush-Reload attacker who sees which entry became cached
+// reads the exponent off the cache — unless the fill is de-correlated from
+// the access.
+//
+// This is the paper's "multipliers table in the public-key algorithms
+// (e.g., RSA)" example, taken end to end: full exponent recovery against
+// demand fetch, chance-level recovery against a random fill cache.
+package main
+
+import (
+	"fmt"
+	"math/big"
+
+	"randfill/internal/cache"
+	"randfill/internal/modexp"
+	"randfill/internal/rng"
+)
+
+func main() {
+	mod, _ := new(big.Int).SetString("340282366920938463463374607431768211507", 10)
+	e, err := modexp.New(big.NewInt(7), mod, 4)
+	if err != nil {
+		panic(err)
+	}
+	secret, _ := new(big.Int).SetString("C0FFEE0DDEADBEEF1337CAFEF00DFACE", 16)
+	fmt.Printf("victim's secret exponent: %X\n", secret)
+	fmt.Printf("multiplier table: %d entries x 128 bytes = %d cache lines\n\n",
+		e.TableSize(), modexp.DefaultLayout().TableRegion(e.TableSize()).NumLines())
+
+	sa := func(src *rng.Source) cache.Cache {
+		return cache.NewSetAssoc(cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}, cache.LRU{})
+	}
+
+	fmt.Println("-- demand fetch --")
+	res := modexp.Spy(e, secret, modexp.DefaultLayout(), sa, rng.Window{}, 1)
+	fmt.Printf("windows recovered: %d/%d\n", res.CorrectWindows, res.Windows)
+	fmt.Printf("recovered exponent: %X\n", res.Recovered)
+	if res.Recovered.Cmp(secret) == 0 {
+		fmt.Println("FULL SECRET EXPONENT RECOVERED from one traced exponentiation")
+	}
+
+	fmt.Println("\n-- random fill, window [-32,+31] (covers the table) --")
+	res = modexp.Spy(e, secret, modexp.DefaultLayout(), sa, rng.Window{A: 32, B: 31}, 2)
+	fmt.Printf("windows recovered: %d/%d (chance level: %d)\n",
+		res.CorrectWindows, res.Windows, res.Windows/16)
+	fmt.Printf("recovered exponent: %X (wrong)\n", res.Recovered)
+	fmt.Println("\nThe observation channel is the same one the AES attack uses — and")
+	fmt.Println("the same window parameter closes it, with no change to the victim's code")
+	fmt.Println("beyond the set_RR call at the start of the operation.")
+}

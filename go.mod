@@ -1,0 +1,3 @@
+module randfill
+
+go 1.22

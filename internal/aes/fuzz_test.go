@@ -1,0 +1,38 @@
+package aes
+
+import (
+	stdaes "crypto/aes"
+	"testing"
+)
+
+// FuzzEncryptMatchesStdlib differentially fuzzes the T-table implementation
+// against crypto/aes for arbitrary keys and blocks.
+func FuzzEncryptMatchesStdlib(f *testing.F) {
+	f.Add(make([]byte, 16), make([]byte, 16))
+	f.Add([]byte("0123456789abcdef"), []byte("fedcba9876543210"))
+	f.Fuzz(func(t *testing.T, key, pt []byte) {
+		if len(key) != 16 || len(pt) != 16 {
+			return
+		}
+		c, err := New(key)
+		if err != nil {
+			t.Fatalf("16-byte key rejected: %v", err)
+		}
+		ref, err := stdaes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, want, rt [16]byte
+		c.Encrypt(got[:], pt, nil)
+		ref.Encrypt(want[:], pt)
+		if got != want {
+			t.Fatalf("encrypt mismatch: key %x pt %x: %x vs %x", key, pt, got, want)
+		}
+		c.Decrypt(rt[:], got[:], nil)
+		for i := range rt {
+			if rt[i] != pt[i] {
+				t.Fatalf("round trip mismatch at byte %d", i)
+			}
+		}
+	})
+}

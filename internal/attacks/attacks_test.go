@@ -1,0 +1,361 @@
+package attacks
+
+import (
+	"math"
+	"testing"
+
+	"randfill/internal/cache"
+	"randfill/internal/infotheory"
+	"randfill/internal/mem"
+	"randfill/internal/newcache"
+	"randfill/internal/rng"
+	"randfill/internal/sim"
+)
+
+// attackerSim is the attacker-favoring configuration for the security
+// tests: a reduced miss queue (the paper used 1 entry; we use 2 so random
+// fill requests can still issue in the dense trace model — see
+// experiments.attackerSim and DESIGN.md).
+func attackerSim() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.MissQueue = 2
+	return cfg
+}
+
+func samples(t *testing.T, full int) int {
+	if testing.Short() {
+		return full / 8
+	}
+	return full
+}
+
+func TestCollisionBreaksDemandFetch(t *testing.T) {
+	// Table III "size=1": the final-round collision attack recovers the
+	// full last-round key XOR relations against a demand-fetch cache.
+	res := MeasurementsToSuccess(CollisionConfig{
+		Sim:  attackerSim(),
+		Seed: 42,
+	}, 4000, samples(t, 260000))
+	if testing.Short() {
+		// A short run cannot finish the attack; just check progress
+		// beyond the ~0.06 pairs expected by chance.
+		if res.CorrectPairs < 1 {
+			t.Errorf("short run recovered only %d/15 pairs", res.CorrectPairs)
+		}
+		return
+	}
+	if !res.Success {
+		t.Fatalf("attack failed after %d measurements (%d/15 pairs)",
+			res.Measurements, res.CorrectPairs)
+	}
+	// Paper: 65,000 measurements on gem5; same order of magnitude here.
+	if res.Measurements > 260000 {
+		t.Errorf("attack needed %d measurements", res.Measurements)
+	}
+}
+
+func TestCollisionDefeatedByCoveringWindow(t *testing.T) {
+	// Table III: with a window of 32 (covering the whole T4 table) the
+	// attack makes no progress.
+	res := MeasurementsToSuccess(CollisionConfig{
+		Sim:    attackerSim(),
+		Victim: sim.ThreadConfig{Mode: sim.ModeRandomFill, Window: rng.Symmetric(32)},
+		Seed:   42,
+	}, 10000, samples(t, 40000))
+	if res.Success {
+		t.Fatalf("attack succeeded against a covering window at %d measurements", res.Measurements)
+	}
+	if res.CorrectPairs > 3 {
+		t.Errorf("attack recovered %d/15 pairs against a covering window", res.CorrectPairs)
+	}
+}
+
+func TestTimingChartShowsCollisionMinimum(t *testing.T) {
+	// Figure 2: the mean encryption time plotted against c0^c1 dips at
+	// c0^c1 = k10_0 ^ k10_1.
+	a := NewCollision(CollisionConfig{Sim: attackerSim(), Seed: 7})
+	a.Collect(samples(t, 120000))
+	chart := a.TimingChart(0) // pair (0,1)
+	truth := a.TrueXor(0)
+	if len(chart) != 256 {
+		t.Fatalf("chart has %d points", len(chart))
+	}
+	// The collision value must show a clear dip: strictly below the
+	// grand mean and among the lowest handful of the 256 group means.
+	// (Recovering it as the exact minimum needs the full ~200k-sample
+	// budget, which TestCollisionBreaksDemandFetch exercises.)
+	if chart[truth] >= 0 {
+		t.Errorf("mean time at the collision value is %v, want below the grand mean", chart[truth])
+	}
+	if !testing.Short() {
+		rank := 0
+		for _, v := range chart {
+			if v < chart[truth] {
+				rank++
+			}
+		}
+		if rank > 10 {
+			t.Errorf("collision value ranked %d of 256 by mean time, want a clear dip", rank)
+		}
+	}
+	minVal := math.Inf(1)
+	for _, v := range chart {
+		if v < minVal {
+			minVal = v
+		}
+	}
+	if minVal >= 0 {
+		t.Errorf("chart minimum %v not below the grand mean", minVal)
+	}
+}
+
+func TestFirstRoundAttackSignal(t *testing.T) {
+	// The first-round variant recovers line-granular key-byte XORs; with
+	// a moderate budget it should recover far more of the 24 relations
+	// than the 1.5 expected by chance.
+	a := NewCollision(CollisionConfig{Sim: attackerSim(), Round: FirstRound, Seed: 9})
+	a.Collect(samples(t, 80000))
+	if a.Pairs() != 24 {
+		t.Fatalf("first-round pairs = %d, want 24", a.Pairs())
+	}
+	correct := a.CorrectPairs()
+	min := 8
+	if testing.Short() {
+		min = 3
+	}
+	if correct < min {
+		t.Errorf("first-round attack recovered %d/24 pairs, want >= %d", correct, min)
+	}
+}
+
+func TestPreloadDefendsButCollisionlessly(t *testing.T) {
+	// PLcache+preload: all table accesses hit, so the timing carries no
+	// collision signal (the constant-time defense the paper compares
+	// against).
+	lay := layoutRegions()
+	cfg := CollisionConfig{
+		Sim: func() sim.Config {
+			c := attackerSim()
+			c.L1Kind = sim.KindPLcache
+			return c
+		}(),
+		Victim: sim.ThreadConfig{Mode: sim.ModePreload, SecretRegions: lay, Owner: 1},
+		Seed:   11,
+	}
+	a := NewCollision(cfg)
+	a.Collect(samples(t, 16000))
+	if c := a.CorrectPairs(); c > 3 {
+		t.Errorf("attack recovered %d/15 pairs against PLcache+preload", c)
+	}
+}
+
+func TestDisableCacheDefendsCollision(t *testing.T) {
+	a := NewCollision(CollisionConfig{
+		Sim:    attackerSim(),
+		Victim: sim.ThreadConfig{Mode: sim.ModeDisableSecret},
+		Seed:   13,
+	})
+	a.Collect(samples(t, 16000))
+	if c := a.CorrectPairs(); c > 3 {
+		t.Errorf("attack recovered %d/15 pairs with the cache disabled", c)
+	}
+}
+
+func layoutRegions() []mem.Region {
+	// The five encryption tables, as the preload baseline locks them.
+	out := make([]mem.Region, 5)
+	for i := range out {
+		out[i] = mem.Region{Base: mem.Addr(0x10000 + i*1024), Size: 1024}
+	}
+	return out
+}
+
+func TestCollisionSigmaTracked(t *testing.T) {
+	a := NewCollision(CollisionConfig{Sim: attackerSim(), Seed: 1})
+	a.Collect(500)
+	if a.Samples() != 500 {
+		t.Errorf("Samples = %d", a.Samples())
+	}
+	if a.SigmaT() <= 0 {
+		t.Error("sigmaT not tracked")
+	}
+	if a.MeanTime() <= 0 {
+		t.Error("mean time not tracked")
+	}
+}
+
+func TestCollisionFixedKeyGroundTruth(t *testing.T) {
+	key := []byte("sixteen byte key")
+	a := NewCollision(CollisionConfig{Sim: attackerSim(), Key: key, Seed: 2})
+	// Ground truth must be derived from the supplied key
+	// deterministically.
+	b := NewCollision(CollisionConfig{Sim: attackerSim(), Key: key, Seed: 3})
+	for p := 0; p < a.Pairs(); p++ {
+		if a.TrueXor(p) != b.TrueXor(p) {
+			t.Fatalf("pair %d ground truth differs across instances", p)
+		}
+	}
+}
+
+// --- Flush-Reload ---
+
+func sa32k(src *rng.Source) cache.Cache {
+	return cache.NewSetAssoc(cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}, cache.LRU{})
+}
+
+func table() mem.Region { return mem.Region{Base: 0x11000, Size: 1024} }
+
+func TestFlushReloadBreaksDemandFetch(t *testing.T) {
+	res := FlushReload(FlushReloadConfig{
+		NewCache: sa32k,
+		Window:   rng.Window{},
+		Region:   table(),
+		Trials:   4000,
+		Seed:     1,
+	})
+	if res.Accuracy != 1 {
+		t.Errorf("accuracy = %v, want 1 under demand fetch", res.Accuracy)
+	}
+	// The demand-fetch storage channel carries log2(16) = 4 bits.
+	if res.MutualInfo < 3.9 {
+		t.Errorf("mutual info = %v bits, want ≈ 4", res.MutualInfo)
+	}
+}
+
+func TestFlushReloadMitigatedByRandomFill(t *testing.T) {
+	w := rng.Symmetric(32)
+	res := FlushReload(FlushReloadConfig{
+		NewCache: sa32k,
+		Window:   w,
+		Region:   table(),
+		Trials:   20000,
+		Seed:     2,
+	})
+	if res.Accuracy > 0.10 {
+		t.Errorf("victim line observed with probability %v, want ≈ 1/32", res.Accuracy)
+	}
+	cap := infotheory.Capacity(16, w.A, w.B)
+	// Empirical MI estimates carry positive bias ~ (cells)/(2N ln 2);
+	// allow generous slack above the analytic capacity.
+	if res.MutualInfo > cap+0.2 {
+		t.Errorf("empirical MI %v far above capacity %v", res.MutualInfo, cap)
+	}
+	if res.MutualInfo > 1.5 {
+		t.Errorf("MI %v bits: channel not usefully narrowed (demand = 4 bits)", res.MutualInfo)
+	}
+}
+
+func TestFlushReloadCapacityTrend(t *testing.T) {
+	// MI must fall monotonically (within noise) as the window grows.
+	prev := math.Inf(1)
+	for _, size := range []int{1, 4, 16, 32} {
+		res := FlushReload(FlushReloadConfig{
+			NewCache: sa32k,
+			Window:   rng.Symmetric(size),
+			Region:   table(),
+			Trials:   12000,
+			Seed:     3,
+		})
+		if res.MutualInfo > prev+0.1 {
+			t.Errorf("MI rose at window %d: %v > %v", size, res.MutualInfo, prev)
+		}
+		prev = res.MutualInfo
+	}
+}
+
+// --- Prime-Probe ---
+
+func TestPrimeProbeBreaksSACache(t *testing.T) {
+	res := PrimeProbe(PrimeProbeConfig{
+		NewCache:     sa32k,
+		Sets:         128,
+		Ways:         4,
+		Window:       rng.Window{},
+		VictimRegion: table(),
+		AttackerBase: 0x100000,
+		Trials:       500,
+		Seed:         1,
+	})
+	if res.ExactAccuracy < 0.95 {
+		t.Errorf("prime-probe exact accuracy %v on SA demand-fetch, want ≈ 1", res.ExactAccuracy)
+	}
+}
+
+func TestPrimeProbeDefeatedByNewcache(t *testing.T) {
+	res := PrimeProbe(PrimeProbeConfig{
+		NewCache: func(src *rng.Source) cache.Cache {
+			return newcache.New(32*1024, 4, src)
+		},
+		Sets:         128,
+		Ways:         4,
+		Window:       rng.Window{},
+		VictimRegion: table(),
+		AttackerBase: 0x100000,
+		Trials:       500,
+		Seed:         2,
+	})
+	if res.ExactAccuracy > 0.2 {
+		t.Errorf("prime-probe accuracy %v against Newcache, want ≈ chance", res.ExactAccuracy)
+	}
+}
+
+func TestPrimeProbeStillLeaksUnderRandomFill(t *testing.T) {
+	// Random fill targets reuse based attacks only: a contention attack
+	// still localizes the victim's access to within the fill window
+	// (Section VIII: combine with Newcache for contention defense).
+	w := rng.Symmetric(8)
+	res := PrimeProbe(PrimeProbeConfig{
+		NewCache:     sa32k,
+		Sets:         128,
+		Ways:         4,
+		Window:       w,
+		VictimRegion: table(),
+		AttackerBase: 0x100000,
+		Trials:       500,
+		Seed:         3,
+	})
+	if res.WindowAccuracy < 0.8 {
+		t.Errorf("window accuracy %v: contention leak should persist", res.WindowAccuracy)
+	}
+	if res.ExactAccuracy > 0.5 {
+		t.Errorf("exact accuracy %v: random fill should at least blur the set", res.ExactAccuracy)
+	}
+}
+
+// --- Evict-Time ---
+
+func TestEvictTimeBreaksSACache(t *testing.T) {
+	res := EvictTime(EvictTimeConfig{
+		NewCache:     sa32k,
+		Sets:         128,
+		Ways:         4,
+		TargetSet:    int(table().FirstLine()) & 127,
+		Window:       rng.Window{},
+		VictimRegion: table(),
+		AttackerBase: 0x100000,
+		Trials:       4000,
+		Seed:         1,
+	})
+	if res.Signal < 5 {
+		t.Errorf("evict-time signal %v on SA cache, want ≈ 10", res.Signal)
+	}
+}
+
+func TestEvictTimeDefeatedByNewcache(t *testing.T) {
+	res := EvictTime(EvictTimeConfig{
+		NewCache: func(src *rng.Source) cache.Cache {
+			return newcache.New(32*1024, 4, src)
+		},
+		Sets:         128,
+		Ways:         4,
+		TargetSet:    int(table().FirstLine()) & 127,
+		Window:       rng.Window{},
+		VictimRegion: table(),
+		AttackerBase: 0x100000,
+		Trials:       4000,
+		Seed:         2,
+	})
+	if math.Abs(res.Signal) > 2 {
+		t.Errorf("evict-time signal %v against Newcache, want ≈ 0", res.Signal)
+	}
+}

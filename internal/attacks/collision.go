@@ -1,0 +1,345 @@
+// Package attacks implements the four cache side channel attack classes of
+// the paper's Table I against the simulated cache architectures:
+//
+//   - cache collision attacks (timing-driven, reuse based) — the paper's
+//     main case study, both final-round and first-round AES variants;
+//   - Flush-Reload attacks (access-driven, reuse based);
+//   - Prime-Probe attacks (access-driven, contention based);
+//   - Evict-Time attacks (timing-driven, contention based).
+//
+// Each attack runs against a victim whose L1 fill policy is configurable,
+// so the same code demonstrates both the vulnerability of demand fetch and
+// the defense provided by the random fill engine.
+package attacks
+
+import (
+	"fmt"
+
+	"randfill/internal/aes"
+	"randfill/internal/plcache"
+	"randfill/internal/rng"
+	"randfill/internal/sim"
+	"randfill/internal/stats"
+)
+
+// Round selects which AES round the collision attack targets.
+type Round int
+
+const (
+	// FinalRound attacks the T4 lookups: a collision between final-round
+	// lookups u and w yields k10_u ^ k10_w = c_u ^ c_w.
+	FinalRound Round = iota
+	// FirstRound attacks the round-1 lookups x_i = p_i ^ k_i: a
+	// collision yields <k_i ^ k_j> = <p_i ^ p_j> (the line-granular,
+	// i.e. high-nibble, XOR of the key bytes).
+	FirstRound
+)
+
+// CollisionConfig configures a cache collision attack run.
+type CollisionConfig struct {
+	// Sim is the machine configuration (Table IV defaults apply to zero
+	// fields). The paper's security runs favor the attacker with a
+	// 1-entry miss queue; the default 4 entries adds timing noise.
+	Sim sim.Config
+	// Victim is the victim thread's fill policy (the defense under
+	// test).
+	Victim sim.ThreadConfig
+	// Key is the victim's 16-byte AES key; a random key is drawn from
+	// Seed when nil.
+	Key []byte
+	// Round selects the attack variant.
+	Round Round
+	// Seed drives the attacker's plaintext generation.
+	Seed uint64
+	// TraceOpts tunes the victim's instruction mix.
+	TraceOpts aes.TraceOpts
+}
+
+// Collision is an in-progress cache collision attack: it accumulates timing
+// measurements over block encryptions with random plaintexts and recovers
+// key-byte XOR relations from the per-group mean encryption times.
+type Collision struct {
+	cfg     CollisionConfig
+	cipher  *aes.Cipher
+	tracer  *aes.Tracer
+	machine *sim.Machine
+	thread  *sim.Thread
+	src     *rng.Source
+	layout  aes.Layout
+
+	// groups[p] aggregates encryption times keyed by the XOR of byte
+	// pair p. Final round: pairs (0,i), i = 1..15, keyed by c0^ci.
+	// First round: pairs within each table's byte positions, keyed by
+	// the line-granular plaintext XOR.
+	groups  []*stats.Grouped
+	pairs   []bytePair
+	timing  stats.Running
+	n       uint64
+	warmups int
+}
+
+// bytePair identifies one recovered XOR relation.
+type bytePair struct {
+	i, j int
+	// lineGranular restricts the relation to the high nibble (the line
+	// index), as in the first-round attack where only <xi> = <xj> is
+	// observable.
+	lineGranular bool
+}
+
+// NewCollision prepares an attack. It panics on an invalid key, mirroring
+// misuse rather than runtime failure.
+func NewCollision(cfg CollisionConfig) *Collision {
+	src := rng.New(cfg.Seed ^ 0xc0111510)
+	key := cfg.Key
+	if key == nil {
+		key = make([]byte, 16)
+		src.Bytes(key)
+	}
+	cipher, err := aes.New(key)
+	if err != nil {
+		panic(fmt.Sprintf("attacks: %v", err))
+	}
+	layout := aes.DefaultLayout()
+	machine := sim.New(cfg.Sim)
+	a := &Collision{
+		cfg:     cfg,
+		cipher:  cipher,
+		tracer:  &aes.Tracer{Cipher: cipher, Layout: layout, Opts: cfg.TraceOpts},
+		machine: machine,
+		thread:  machine.NewThread(cfg.Victim),
+		src:     src,
+		layout:  layout,
+	}
+	switch cfg.Round {
+	case FinalRound:
+		for i := 1; i < 16; i++ {
+			a.pairs = append(a.pairs, bytePair{i: 0, j: i})
+		}
+	case FirstRound:
+		// Round-1 lookups per table: Te0 ← bytes {0,4,8,12},
+		// Te1 ← {5,9,13,1}, Te2 ← {10,14,2,6}, Te3 ← {15,3,7,11}.
+		tables := [4][4]int{
+			{0, 4, 8, 12},
+			{5, 9, 13, 1},
+			{10, 14, 2, 6},
+			{15, 3, 7, 11},
+		}
+		for _, bytes := range tables {
+			for x := 0; x < 4; x++ {
+				for y := x + 1; y < 4; y++ {
+					a.pairs = append(a.pairs, bytePair{
+						i: bytes[x], j: bytes[y], lineGranular: true,
+					})
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("attacks: unknown round %d", cfg.Round))
+	}
+	a.groups = make([]*stats.Grouped, len(a.pairs))
+	for p := range a.groups {
+		size := 256
+		if a.pairs[p].lineGranular {
+			size = 16
+		}
+		a.groups[p] = stats.NewGrouped(size)
+	}
+	return a
+}
+
+// Pairs returns the number of XOR relations the attack recovers.
+func (a *Collision) Pairs() int { return len(a.pairs) }
+
+// Samples returns the number of measurements collected so far.
+func (a *Collision) Samples() uint64 { return a.n }
+
+// SigmaT returns the standard deviation of the measured encryption times,
+// the sigma_T of Equation 5.
+func (a *Collision) SigmaT() float64 { return a.timing.StdDev() }
+
+// MeanTime returns the mean measured encryption time in cycles.
+func (a *Collision) MeanTime() float64 { return a.timing.Mean() }
+
+// cleanCache restores the attacker's "clean cache" precondition between
+// measurements: the L1 is flushed (the attacker primes/flushes the L1 data
+// cache before triggering each encryption). The L2 is deliberately left
+// warm — the victim's lookup tables are hot and stay resident in the 2 MB
+// L2 across measurements, so every L1 miss costs the L2 hit latency and the
+// timing channel is purely an L1 phenomenon, as in the paper's setup. A
+// PLcache+preload victim re-runs its preload after the flush (as it would
+// on the context switch back to the victim).
+func (a *Collision) cleanCache() {
+	a.machine.L1().Flush()
+	if a.cfg.Victim.Mode == sim.ModePreload {
+		pl := a.machine.L1().(*plcache.PLcache)
+		for _, r := range a.cfg.Victim.SecretRegions {
+			pl.Preload(a.cfg.Victim.Owner, r)
+		}
+	}
+}
+
+// Collect runs n one-block encryptions with random plaintexts, each from a
+// clean cache, and accumulates the timing measurements. The first few
+// encryptions of an attack are discarded unrecorded: they warm the L2 (the
+// victim's tables become L2-resident for the rest of the attack) and their
+// DRAM-latency outliers would otherwise pollute small-sample group means.
+func (a *Collision) Collect(n int) {
+	var pt [16]byte
+	for a.warmups < 4 {
+		a.warmups++
+		a.src.Bytes(pt[:])
+		a.cleanCache()
+		_, trace := a.tracer.EncryptBlock(pt[:], 0)
+		for i := range trace {
+			a.thread.Step(trace[i])
+		}
+		a.thread.Drain()
+	}
+	for s := 0; s < n; s++ {
+		a.src.Bytes(pt[:])
+		a.cleanCache()
+		start := a.thread.Cycle()
+		ct, trace := a.tracer.EncryptBlock(pt[:], 0)
+		for i := range trace {
+			a.thread.Step(trace[i])
+		}
+		a.thread.Drain()
+		elapsed := a.thread.Cycle() - start
+		a.timing.Add(elapsed)
+		a.n++
+
+		for p, pair := range a.pairs {
+			var key int
+			if a.cfg.Round == FinalRound {
+				key = int(ct[pair.i] ^ ct[pair.j])
+			} else {
+				key = int(pt[pair.i]^pt[pair.j]) >> 4
+			}
+			a.groups[p].Add(key, elapsed)
+		}
+	}
+}
+
+// TrueXor returns the ground-truth XOR value for pair p: for the final
+// round, k10_i ^ k10_j; for the first round, the high nibble of k_i ^ k_j.
+func (a *Collision) TrueXor(p int) int {
+	pair := a.pairs[p]
+	if a.cfg.Round == FinalRound {
+		k10 := a.cipher.LastRoundKey()
+		return int(k10[pair.i] ^ k10[pair.j])
+	}
+	k := a.cipherKeyBytes()
+	return int(k[pair.i]^k[pair.j]) >> 4
+}
+
+// cipherKeyBytes reconstructs the first-round key bytes (the AES key
+// itself) from the schedule via a known-plaintext identity: the first four
+// round-key words are the key.
+func (a *Collision) cipherKeyBytes() [16]byte {
+	// Encrypt the zero block while recording round-1 lookup indices:
+	// index = key byte for zero plaintext.
+	rec := &roundOneRec{}
+	var out [16]byte
+	a.cipher.Encrypt(out[:], make([]byte, 16), rec)
+	return rec.key
+}
+
+// roundOneRec recovers the whitened state of round 1 (= key bytes for zero
+// plaintext) from the lookup callback order, which is fixed.
+type roundOneRec struct {
+	key [16]byte
+	pos int
+}
+
+// byteOrder is the state-byte position of each of the 16 round-1 lookups in
+// emission order (see aes.Cipher.Encrypt).
+var byteOrder = [16]int{0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11}
+
+// Lookup implements aes.Recorder.
+func (r *roundOneRec) Lookup(table int, index byte, round int, first bool) {
+	if round == 1 && r.pos < 16 {
+		r.key[byteOrder[r.pos]] = index
+		r.pos++
+	}
+}
+
+// RecoveredXor returns the attack's current estimate for pair p: the group
+// key with the minimum mean encryption time (the collision value).
+func (a *Collision) RecoveredXor(p int) int { return a.groups[p].ArgMin() }
+
+// CorrectPairs returns how many of the XOR relations are currently
+// recovered correctly.
+func (a *Collision) CorrectPairs() int {
+	n := 0
+	for p := range a.pairs {
+		if a.RecoveredXor(p) == a.TrueXor(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Success reports whether every XOR relation is recovered (full key
+// recovery up to one guessed byte, as in Section II.C).
+func (a *Collision) Success() bool { return a.CorrectPairs() == len(a.pairs) }
+
+// TimingChart returns the Figure 2 series for pair p: for each XOR value,
+// the mean encryption time minus the grand mean (NaN-free: empty groups
+// report 0 deviation). The collision value shows the minimum.
+func (a *Collision) TimingChart(p int) []float64 {
+	g := a.groups[p]
+	grand := g.GrandMean()
+	out := make([]float64, g.Len())
+	for k := range out {
+		if g.Count(k) == 0 {
+			continue
+		}
+		out[k] = g.Mean(k) - grand
+	}
+	return out
+}
+
+// SearchResult reports a measurements-to-success search.
+type SearchResult struct {
+	// Measurements is the sample count at which the attack first
+	// succeeded (meaningful only when Success).
+	Measurements uint64
+	Success      bool
+	// CorrectPairs is the best pair count reached.
+	CorrectPairs int
+	// SigmaT is the observed timing standard deviation.
+	SigmaT float64
+}
+
+// MeasurementsToSuccess collects samples in batches until the attack
+// recovers every XOR relation or maxSamples is reached — the procedure
+// behind Table III's "# measurements" row.
+func MeasurementsToSuccess(cfg CollisionConfig, batch, maxSamples int) SearchResult {
+	a := NewCollision(cfg)
+	best := 0
+	for a.Samples() < uint64(maxSamples) {
+		n := batch
+		if rem := maxSamples - int(a.Samples()); n > rem {
+			n = rem
+		}
+		a.Collect(n)
+		if c := a.CorrectPairs(); c > best {
+			best = c
+		}
+		if a.Success() {
+			return SearchResult{
+				Measurements: a.Samples(),
+				Success:      true,
+				CorrectPairs: a.Pairs(),
+				SigmaT:       a.SigmaT(),
+			}
+		}
+	}
+	return SearchResult{
+		Measurements: a.Samples(),
+		Success:      false,
+		CorrectPairs: best,
+		SigmaT:       a.SigmaT(),
+	}
+}

@@ -1,0 +1,23 @@
+package attacks
+
+import "randfill/internal/cache"
+
+// domainCache is implemented by caches whose behaviour depends on the
+// accessing trust domain (RPcache). The functional attacks switch domains
+// between attacker and victim operations when the cache supports it.
+type domainCache interface {
+	SetActiveDomain(int)
+}
+
+// asDomain sets the active trust domain if the cache is domain-aware.
+func asDomain(c cache.Cache, d int) {
+	if dc, ok := c.(domainCache); ok {
+		dc.SetActiveDomain(d)
+	}
+}
+
+// Attacker and victim trust domain ids used by the functional attacks.
+const (
+	attackerDomain = 0
+	victimDomain   = 1
+)

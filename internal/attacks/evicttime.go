@@ -1,0 +1,99 @@
+package attacks
+
+import (
+	"randfill/internal/cache"
+	"randfill/internal/core"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+// EvictTimeConfig configures an Evict-Time experiment (contention based,
+// timing-driven): the attacker evicts one cache set, triggers the victim,
+// and measures the victim's execution time — statistically higher when the
+// victim's secret access maps to the evicted set.
+type EvictTimeConfig struct {
+	NewCache func(src *rng.Source) cache.Cache
+	// Sets and Ways describe the geometry the attacker targets.
+	Sets, Ways int
+	// TargetSet is the set the attacker repeatedly evicts.
+	TargetSet int
+	// Window is the victim's random fill window.
+	Window rng.Window
+	// VictimRegion is the victim's table.
+	VictimRegion mem.Region
+	// AttackerBase is the first line of the attacker's eviction data.
+	AttackerBase mem.Line
+	Trials       int
+	Seed         uint64
+}
+
+// EvictTimeResult reports the mean victim "time" (miss count, the
+// functional proxy for latency) conditioned on whether the victim's access
+// mapped to the evicted set.
+type EvictTimeResult struct {
+	MeanTimeTarget float64 // victim used the evicted set
+	MeanTimeOther  float64 // victim used another set
+	// Signal is the difference; a positive signal lets the attacker
+	// identify accesses to the target set.
+	Signal float64
+	Trials int
+}
+
+// EvictTime mounts the attack. The victim's per-trial work is: warm its
+// whole table, then perform one secret-dependent access; the attacker's
+// eviction happens between warm-up and the secret access, so the secret
+// access misses iff it maps to the evicted set (under demand fetch).
+func EvictTime(cfg EvictTimeConfig) EvictTimeResult {
+	src := rng.New(cfg.Seed ^ 0xe71c)
+	c := cfg.NewCache(src.Split(1))
+	eng := core.NewEngine(c, src.Split(2))
+	eng.SetOwner(victimDomain)
+
+	m := cfg.VictimRegion.NumLines()
+	first := cfg.VictimRegion.FirstLine()
+
+	var sumTarget, sumOther float64
+	var nTarget, nOther int
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		// Victim warm-up: demand-load the whole table (the window only
+		// protects the secret access pattern; warming is public).
+		asDomain(c, victimDomain)
+		eng.SetRR(0, 0)
+		for i := 0; i < m; i++ {
+			if !c.Lookup(first+mem.Line(i), false) {
+				c.Fill(first+mem.Line(i), cache.FillOpts{})
+			}
+		}
+		// Evict: attacker fills the target set with its own lines.
+		asDomain(c, attackerDomain)
+		for k := 0; k < cfg.Ways; k++ {
+			c.Fill(cfg.AttackerBase+mem.Line(k*cfg.Sets+cfg.TargetSet), cache.FillOpts{Owner: attackerDomain})
+		}
+		// Time: victim performs one secret access under its window.
+		asDomain(c, victimDomain)
+		eng.SetRR(cfg.Window.A, cfg.Window.B)
+		secret := src.Intn(m)
+		line := first + mem.Line(secret)
+		time := 1.0
+		if !eng.Access(line, false) {
+			time += 10 // miss penalty in arbitrary units
+		}
+		if int(uint64(line)&uint64(cfg.Sets-1)) == cfg.TargetSet {
+			sumTarget += time
+			nTarget++
+		} else {
+			sumOther += time
+			nOther++
+		}
+	}
+	res := EvictTimeResult{Trials: cfg.Trials}
+	if nTarget > 0 {
+		res.MeanTimeTarget = sumTarget / float64(nTarget)
+	}
+	if nOther > 0 {
+		res.MeanTimeOther = sumOther / float64(nOther)
+	}
+	res.Signal = res.MeanTimeTarget - res.MeanTimeOther
+	return res
+}

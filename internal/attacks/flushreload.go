@@ -1,0 +1,143 @@
+package attacks
+
+import (
+	"math"
+
+	"randfill/internal/cache"
+	"randfill/internal/core"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+// FlushReloadResult summarizes a Flush-Reload experiment (the storage
+// channel of Section V.B).
+type FlushReloadResult struct {
+	// Accuracy is the fraction of trials in which the victim's accessed
+	// line was among the lines the attacker found cached on reload.
+	Accuracy float64
+	// MutualInfo is the empirical mutual information in bits between the
+	// victim's accessed line S and the attacker's observation R (the
+	// cached line, or "nothing"), estimated from the joint histogram.
+	// It is upper-bounded by infotheory.Capacity for the same window.
+	MutualInfo float64
+	// Trials is the number of victim accesses measured.
+	Trials int
+}
+
+// FlushReloadConfig configures the experiment.
+type FlushReloadConfig struct {
+	// NewCache builds the shared cache.
+	NewCache func(src *rng.Source) cache.Cache
+	// Window is the victim's random fill window ([0,0] = demand fetch).
+	Window rng.Window
+	// Region is the shared security-critical table.
+	Region mem.Region
+	// Trials is the number of flush → victim-access → reload rounds.
+	Trials int
+	Seed   uint64
+}
+
+// FlushReload mounts the attack: the attacker flushes the shared table from
+// the cache, lets the victim perform one secret-dependent access, then
+// reloads and observes which line become cached. Per the paper's best case
+// for the attacker (Section V.B), the attacker can also observe lines just
+// outside the region that a random fill window may touch.
+func FlushReload(cfg FlushReloadConfig) FlushReloadResult {
+	src := rng.New(cfg.Seed ^ 0xf1e5)
+	c := cfg.NewCache(src.Split(1))
+	eng := core.NewEngine(c, src.Split(2))
+	eng.SetOwner(victimDomain)
+	eng.SetRR(cfg.Window.A, cfg.Window.B)
+
+	m := cfg.Region.NumLines()
+	first := cfg.Region.FirstLine()
+
+	// Observable lines: the region extended by the window on both sides,
+	// plus the "nothing cached" symbol at index obsNone.
+	obsLo := int64(first) - int64(cfg.Window.A)
+	if obsLo < 0 {
+		obsLo = 0
+	}
+	obsHi := int64(first) + int64(m-1) + int64(cfg.Window.B)
+	obsCount := int(obsHi-obsLo+1) + 1
+	obsNone := obsCount - 1
+
+	joint := make([][]uint64, m)
+	for i := range joint {
+		joint[i] = make([]uint64, obsCount)
+	}
+
+	hits := 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		// Flush: evict the whole observable range (clflush loop).
+		asDomain(c, attackerDomain)
+		for l := obsLo; l <= obsHi; l++ {
+			c.Invalidate(mem.Line(l))
+		}
+		// Victim: one uniform secret-dependent access. (The data is
+		// shared, so under a domain-aware cache the victim still sees
+		// its own mapping.)
+		asDomain(c, victimDomain)
+		s := src.Intn(m)
+		eng.Access(first+mem.Line(s), false)
+		// Reload: time each observable line; a fast reload means the
+		// line is cached (Probe models the timing distinguisher).
+		asDomain(c, victimDomain)
+		obs := obsNone
+		victimObserved := false
+		for l := obsLo; l <= obsHi; l++ {
+			if c.Probe(mem.Line(l)) {
+				obs = int(l - obsLo)
+				if mem.Line(l) == first+mem.Line(s) {
+					victimObserved = true
+				}
+			}
+		}
+		if victimObserved {
+			hits++
+		}
+		joint[s][obs]++
+	}
+
+	return FlushReloadResult{
+		Accuracy:   float64(hits) / float64(cfg.Trials),
+		MutualInfo: mutualInfo(joint),
+		Trials:     cfg.Trials,
+	}
+}
+
+// mutualInfo computes I(S;R) in bits from a joint count histogram.
+func mutualInfo(joint [][]uint64) float64 {
+	var total float64
+	rows := len(joint)
+	if rows == 0 {
+		return 0
+	}
+	cols := len(joint[0])
+	rowSum := make([]float64, rows)
+	colSum := make([]float64, cols)
+	for i := range joint {
+		for j, n := range joint[i] {
+			rowSum[i] += float64(n)
+			colSum[j] += float64(n)
+			total += float64(n)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var mi float64
+	for i := range joint {
+		for j, n := range joint[i] {
+			if n == 0 {
+				continue
+			}
+			p := float64(n) / total
+			mi += p * math.Log2(p*total*total/(rowSum[i]*colSum[j]))
+		}
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}

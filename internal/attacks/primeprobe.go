@@ -1,0 +1,115 @@
+package attacks
+
+import (
+	"randfill/internal/cache"
+	"randfill/internal/core"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+// PrimeProbeConfig configures a Prime-Probe experiment (contention based,
+// access-driven). The attacker fills every cache set with its own data,
+// lets the victim perform one secret-dependent access, then probes its own
+// data: the set containing an evicted attacker line reveals which set the
+// victim's address maps to.
+type PrimeProbeConfig struct {
+	// NewCache builds the shared cache. The attack's set inference is
+	// meaningful for set-associative architectures; against Newcache the
+	// randomized mapping destroys the correlation.
+	NewCache func(src *rng.Source) cache.Cache
+	// Sets and Ways describe the geometry the attacker assumes when
+	// laying out its prime data.
+	Sets, Ways int
+	// Window is the victim's random fill window.
+	Window rng.Window
+	// VictimRegion is the victim's table; each trial accesses one
+	// uniform line of it.
+	VictimRegion mem.Region
+	// AttackerBase is the first line of the attacker's own data
+	// (disjoint from the victim's).
+	AttackerBase mem.Line
+	Trials       int
+	Seed         uint64
+}
+
+// PrimeProbeResult summarizes the experiment.
+type PrimeProbeResult struct {
+	// ExactAccuracy is the fraction of trials where the inferred set
+	// equals the victim's true set.
+	ExactAccuracy float64
+	// WindowAccuracy is the fraction of trials where the inferred set is
+	// within the random fill window of the true set (mod sets) — random
+	// fill blurs but does not hide set contention, which is why it must
+	// be combined with a randomization-based secure cache (Section VIII).
+	WindowAccuracy float64
+	Trials         int
+}
+
+// PrimeProbe mounts the attack.
+func PrimeProbe(cfg PrimeProbeConfig) PrimeProbeResult {
+	src := rng.New(cfg.Seed ^ 0x9413)
+	c := cfg.NewCache(src.Split(1))
+	eng := core.NewEngine(c, src.Split(2))
+	eng.SetOwner(victimDomain)
+	eng.SetRR(cfg.Window.A, cfg.Window.B)
+
+	m := cfg.VictimRegion.NumLines()
+	first := cfg.VictimRegion.FirstLine()
+
+	exact, near := 0, 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		// Prime: fill every set with attacker lines. Attacker line for
+		// (set s, way k) is base + s + k*Sets, which maps to set s in a
+		// conventional indexed cache.
+		asDomain(c, attackerDomain)
+		for k := 0; k < cfg.Ways; k++ {
+			for s := 0; s < cfg.Sets; s++ {
+				c.Fill(cfg.AttackerBase+mem.Line(k*cfg.Sets+s), cache.FillOpts{Owner: attackerDomain})
+			}
+		}
+		// Victim access.
+		asDomain(c, victimDomain)
+		secret := src.Intn(m)
+		victimLine := first + mem.Line(secret)
+		eng.Access(victimLine, false)
+
+		// Probe: count evicted attacker lines per assumed set.
+		asDomain(c, attackerDomain)
+		evicted := make([]int, cfg.Sets)
+		for k := 0; k < cfg.Ways; k++ {
+			for s := 0; s < cfg.Sets; s++ {
+				if !c.Probe(cfg.AttackerBase + mem.Line(k*cfg.Sets+s)) {
+					evicted[s]++
+				}
+			}
+		}
+		inferred := -1
+		for s, n := range evicted {
+			if n > 0 && (inferred < 0 || n > evicted[inferred]) {
+				inferred = s
+			}
+		}
+		trueSet := int(uint64(victimLine) & uint64(cfg.Sets-1))
+		if inferred == trueSet {
+			exact++
+		}
+		if inferred >= 0 && withinWindowMod(inferred, trueSet, cfg.Window, cfg.Sets) {
+			near++
+		}
+	}
+	return PrimeProbeResult{
+		ExactAccuracy:  float64(exact) / float64(cfg.Trials),
+		WindowAccuracy: float64(near) / float64(cfg.Trials),
+		Trials:         cfg.Trials,
+	}
+}
+
+// withinWindowMod reports whether set s lies within [t-a, t+b] modulo sets.
+func withinWindowMod(s, t int, w rng.Window, sets int) bool {
+	for d := -w.A; d <= w.B; d++ {
+		if (t+d%sets+sets)%sets == s {
+			return true
+		}
+	}
+	return false
+}

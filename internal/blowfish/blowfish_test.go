@@ -1,0 +1,157 @@
+package blowfish
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func TestPiGeneration(t *testing.T) {
+	// The leading 32-bit fractional words of pi, which every Blowfish
+	// implementation embeds as the initial P-array.
+	want := []uint32{0x243F6A88, 0x85A308D3, 0x13198A2E, 0x03707344,
+		0xA4093822, 0x299F31D0, 0x082EFA98, 0xEC4E6C89}
+	for i, w := range want {
+		if PiWord(i) != w {
+			t.Fatalf("pi word %d = %#08x, want %#08x", i, PiWord(i), w)
+		}
+	}
+}
+
+// vectors are from the canonical Blowfish test vector set (Eric Young).
+var vectors = []struct{ key, plain, cipher string }{
+	{"0000000000000000", "0000000000000000", "4EF997456198DD78"},
+	{"FFFFFFFFFFFFFFFF", "FFFFFFFFFFFFFFFF", "51866FD5B85ECB8A"},
+	{"3000000000000000", "1000000000000001", "7D856F9A613063F2"},
+	{"1111111111111111", "1111111111111111", "2466DD878B963C9D"},
+	{"0123456789ABCDEF", "1111111111111111", "61F9C3802281B096"},
+	{"FEDCBA9876543210", "0123456789ABCDEF", "0ACEAB0FC6A0A28D"},
+	{"7CA110454A1A6E57", "01A1D6D039776742", "59C68245EB05282B"},
+}
+
+func TestKnownVectors(t *testing.T) {
+	for _, v := range vectors {
+		key, _ := hex.DecodeString(v.key)
+		plain, _ := hex.DecodeString(v.plain)
+		want, _ := hex.DecodeString(v.cipher)
+		c, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8)
+		c.Encrypt(got, plain, nil)
+		if !bytes.Equal(got, want) {
+			t.Errorf("key %s plain %s: got %X, want %s", v.key, v.plain, got, v.cipher)
+		}
+		back := make([]byte, 8)
+		c.Decrypt(back, got, nil)
+		if !bytes.Equal(back, plain) {
+			t.Errorf("key %s: decrypt round trip failed", v.key)
+		}
+	}
+}
+
+func TestVariableKeyLengths(t *testing.T) {
+	for _, n := range []int{1, 5, 16, 56} {
+		key := make([]byte, n)
+		for i := range key {
+			key[i] = byte(i + 1)
+		}
+		c, err := New(key)
+		if err != nil {
+			t.Fatalf("key length %d rejected: %v", n, err)
+		}
+		pt := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+		ct := make([]byte, 8)
+		rt := make([]byte, 8)
+		c.Encrypt(ct, pt, nil)
+		c.Decrypt(rt, ct, nil)
+		if !bytes.Equal(rt, pt) {
+			t.Errorf("key length %d: round trip failed", n)
+		}
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := New(make([]byte, 57)); err == nil {
+		t.Error("57-byte key accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(key [16]byte, pt [8]byte) bool {
+		c, err := New(key[:])
+		if err != nil {
+			return false
+		}
+		var ct, rt [8]byte
+		c.Encrypt(ct[:], pt[:], nil)
+		c.Decrypt(rt[:], ct[:], nil)
+		return rt == pt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type countRec struct {
+	counts [4]int
+	firsts int
+	rounds map[int]bool
+}
+
+func (r *countRec) Lookup(box int, index byte, round int, first bool) {
+	r.counts[box]++
+	if first {
+		r.firsts++
+	}
+	if r.rounds == nil {
+		r.rounds = make(map[int]bool)
+	}
+	r.rounds[round] = true
+}
+
+func TestLookupCounts(t *testing.T) {
+	// 16 rounds x 1 F-evaluation x 4 S-box lookups.
+	c, _ := New([]byte("test key"))
+	rec := &countRec{}
+	var out [8]byte
+	c.Encrypt(out[:], make([]byte, 8), rec)
+	for b := 0; b < 4; b++ {
+		if rec.counts[b] != 16 {
+			t.Errorf("S-box %d lookups = %d, want 16", b, rec.counts[b])
+		}
+	}
+	if rec.firsts != 16 {
+		t.Errorf("round-first callbacks = %d, want 16", rec.firsts)
+	}
+	if len(rec.rounds) != 16 {
+		t.Errorf("rounds seen = %d, want 16", len(rec.rounds))
+	}
+}
+
+func TestTracedMatchesUntraced(t *testing.T) {
+	c, _ := New([]byte("another key"))
+	pt := []byte{9, 8, 7, 6, 5, 4, 3, 2}
+	a := make([]byte, 8)
+	b := make([]byte, 8)
+	c.Encrypt(a, pt, nil)
+	c.Encrypt(b, pt, &countRec{})
+	if !bytes.Equal(a, b) {
+		t.Error("tracing changed the ciphertext")
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	c1, _ := New([]byte("key A"))
+	c2, _ := New([]byte("key B"))
+	pt := make([]byte, 8)
+	a := make([]byte, 8)
+	b := make([]byte, 8)
+	c1.Encrypt(a, pt, nil)
+	c2.Encrypt(b, pt, nil)
+	if bytes.Equal(a, b) {
+		t.Error("different keys produced identical ciphertexts")
+	}
+}

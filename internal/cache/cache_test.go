@@ -1,0 +1,307 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+func small() *SetAssoc {
+	// 4 sets x 2 ways, 64B lines = 512B.
+	return NewSetAssoc(Geometry{SizeBytes: 512, Ways: 2}, LRU{})
+}
+
+func TestMissThenFillThenHit(t *testing.T) {
+	c := small()
+	l := mem.Line(5)
+	if c.Lookup(l, false) {
+		t.Fatal("empty cache hit")
+	}
+	if v := c.Fill(l, FillOpts{}); v.Valid {
+		t.Fatal("fill into empty cache displaced a line")
+	}
+	if !c.Lookup(l, false) {
+		t.Fatal("miss after fill")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Fills != 1 {
+		t.Errorf("stats = %+v", *s)
+	}
+}
+
+func TestProbeHasNoSideEffects(t *testing.T) {
+	c := small()
+	c.Fill(0, FillOpts{})
+	before := *c.Stats()
+	if !c.Probe(0) {
+		t.Fatal("probe missed present line")
+	}
+	if c.Probe(1) {
+		t.Fatal("probe hit absent line")
+	}
+	if *c.Stats() != before {
+		t.Error("probe changed statistics")
+	}
+}
+
+func TestSetMapping(t *testing.T) {
+	c := small() // 4 sets
+	// Lines 0, 4, 8 map to set 0; lines 1, 5 to set 1.
+	if c.SetIndex(0) != 0 || c.SetIndex(4) != 0 || c.SetIndex(8) != 0 {
+		t.Error("set mapping for set 0 wrong")
+	}
+	if c.SetIndex(1) != 1 || c.SetIndex(5) != 1 {
+		t.Error("set mapping for set 1 wrong")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 2 ways
+	// Fill set 0 with lines 0 and 4, touch 0, then fill 8: line 4 (LRU)
+	// must be evicted.
+	c.Fill(0, FillOpts{})
+	c.Fill(4, FillOpts{})
+	c.Lookup(0, false)
+	v := c.Fill(8, FillOpts{})
+	if !v.Valid || v.Line != 4 {
+		t.Fatalf("evicted %+v, want line 4", v)
+	}
+	if !c.Probe(0) || c.Probe(4) || !c.Probe(8) {
+		t.Error("wrong post-eviction contents")
+	}
+}
+
+func TestFIFOEvictionIgnoresHits(t *testing.T) {
+	c := NewSetAssoc(Geometry{SizeBytes: 512, Ways: 2}, FIFO{})
+	c.Fill(0, FillOpts{})
+	c.Fill(4, FillOpts{})
+	c.Lookup(0, false) // would save line 0 under LRU
+	v := c.Fill(8, FillOpts{})
+	if !v.Valid || v.Line != 0 {
+		t.Fatalf("FIFO evicted %+v, want line 0", v)
+	}
+}
+
+func TestRandomPolicyEvictsAllWays(t *testing.T) {
+	c := NewSetAssoc(Geometry{SizeBytes: 512, Ways: 4}, Random{Src: rng.New(1)})
+	// Keep set 0 full and count which victim ways appear.
+	seen := make(map[mem.Line]bool)
+	for i := 0; i < 4; i++ {
+		c.Fill(mem.Line(i*4), FillOpts{})
+	}
+	next := mem.Line(16)
+	for i := 0; i < 400; i++ {
+		v := c.Fill(next, FillOpts{})
+		if !v.Valid {
+			t.Fatal("full set produced no victim")
+		}
+		seen[v.Line] = true
+		next = v.Line // refill the evicted line next round
+	}
+	if len(seen) < 4 {
+		t.Errorf("random policy only ever evicted %d distinct lines", len(seen))
+	}
+}
+
+func TestDirtyEvictionCountsWriteback(t *testing.T) {
+	c := small()
+	c.Fill(0, FillOpts{Dirty: true})
+	c.Fill(4, FillOpts{})
+	v := c.Fill(8, FillOpts{}) // evicts dirty line 0 (LRU)
+	if !v.Valid || v.Line != 0 || !v.Dirty {
+		t.Fatalf("victim = %+v", v)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteHitSetsDirty(t *testing.T) {
+	c := small()
+	c.Fill(0, FillOpts{})
+	c.Lookup(0, true) // write hit
+	c.Fill(4, FillOpts{})
+	v := c.Fill(8, FillOpts{})
+	if !v.Dirty {
+		t.Error("write hit did not mark line dirty")
+	}
+}
+
+func TestFillExistingLineDisplacesNothing(t *testing.T) {
+	c := small()
+	c.Fill(0, FillOpts{})
+	c.Fill(4, FillOpts{})
+	v := c.Fill(0, FillOpts{Dirty: true})
+	if v.Valid || v.Refused {
+		t.Errorf("refresh fill displaced %+v", v)
+	}
+	if c.Stats().Fills != 2 {
+		t.Errorf("fills = %d, want 2 (refresh not counted)", c.Stats().Fills)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Fill(0, FillOpts{})
+	if !c.Invalidate(0) {
+		t.Fatal("invalidate missed present line")
+	}
+	if c.Invalidate(0) {
+		t.Fatal("invalidate hit absent line")
+	}
+	if c.Probe(0) {
+		t.Fatal("line survived invalidation")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small()
+	for i := 0; i < 8; i++ {
+		c.Fill(mem.Line(i), FillOpts{})
+	}
+	c.Flush()
+	if got := len(c.Contents()); got != 0 {
+		t.Errorf("%d lines survived flush", got)
+	}
+}
+
+func TestEvictionObserver(t *testing.T) {
+	c := small()
+	var victims []Victim
+	c.SetEvictionObserver(func(v Victim) { victims = append(victims, v) })
+	c.Fill(0, FillOpts{Offset: 3})
+	c.Fill(4, FillOpts{})
+	c.Lookup(0, false)
+	c.Fill(8, FillOpts{}) // evicts 4 (LRU after the touch of 0)
+	if len(victims) != 1 {
+		t.Fatalf("observer saw %d victims, want 1", len(victims))
+	}
+	if victims[0].Line != 4 || victims[0].Referenced {
+		t.Errorf("victim = %+v", victims[0])
+	}
+	c.Invalidate(0)
+	if len(victims) != 2 {
+		t.Fatalf("observer missed invalidation")
+	}
+	if victims[1].Line != 0 || !victims[1].Referenced || victims[1].Offset != 3 {
+		t.Errorf("invalidated victim = %+v", victims[1])
+	}
+}
+
+func TestDrainValidReportsWithoutInvalidating(t *testing.T) {
+	c := small()
+	n := 0
+	c.SetEvictionObserver(func(v Victim) { n++ })
+	c.Fill(0, FillOpts{})
+	c.Fill(1, FillOpts{})
+	c.DrainValid()
+	if n != 2 {
+		t.Errorf("DrainValid reported %d lines, want 2", n)
+	}
+	if !c.Probe(0) || !c.Probe(1) {
+		t.Error("DrainValid invalidated lines")
+	}
+}
+
+func TestLockAndOwnerMetadata(t *testing.T) {
+	c := small()
+	c.Fill(7, FillOpts{Lock: true, Owner: 2})
+	if !c.IsLocked(7) {
+		t.Error("lock bit not set")
+	}
+	if c.Owner(7) != 2 {
+		t.Errorf("owner = %d", c.Owner(7))
+	}
+	if c.Owner(9) != NoOwner {
+		t.Error("absent line must report NoOwner")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	f := func(lines []uint16) bool {
+		c := small()
+		for _, l := range lines {
+			c.Fill(mem.Line(l), FillOpts{})
+		}
+		return len(c.Contents()) <= c.NumLines()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillLookupAgree(t *testing.T) {
+	// Property: immediately after Fill(l), Lookup(l) hits; and a line
+	// reported evicted no longer Probes.
+	f := func(lines []uint16) bool {
+		c := small()
+		for _, raw := range lines {
+			l := mem.Line(raw)
+			v := c.Fill(l, FillOpts{})
+			if !c.Probe(l) {
+				return false
+			}
+			if v.Valid && c.Probe(v.Line) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Geometry{
+		{SizeBytes: 0, Ways: 1},
+		{SizeBytes: 100, Ways: 1},      // not a line multiple
+		{SizeBytes: 512, Ways: 3},      // lines not divisible by ways
+		{SizeBytes: 64 * 12, Ways: 2},  // 6 sets: not a power of two
+		{SizeBytes: 64 * 12, Ways: 12}, // ok sets=1? 12 lines /12 ways =1 set: valid actually
+	}
+	for _, g := range bad[:4] {
+		func() {
+			defer func() { recover() }()
+			NewSetAssoc(g, LRU{})
+			t.Errorf("geometry %+v did not panic", g)
+		}()
+	}
+	// Fully associative single set is legal.
+	NewSetAssoc(Geometry{SizeBytes: 64 * 12, Ways: 12}, LRU{})
+}
+
+func TestGeometryString(t *testing.T) {
+	if s := (Geometry{SizeBytes: 8192, Ways: 1}).String(); s != "8KB DM" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (Geometry{SizeBytes: 32768, Ways: 4}).String(); s != "32KB 4-way" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	c := small()
+	c.Lookup(0, false)
+	c.Fill(0, FillOpts{})
+	c.Stats().Reset()
+	if *c.Stats() != (Stats{}) {
+		t.Error("reset did not zero stats")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty MissRate != 0")
+	}
+	s.Hits, s.Misses = 3, 1
+	if s.MissRate() != 0.25 {
+		t.Errorf("MissRate = %v", s.MissRate())
+	}
+	if s.Accesses() != 4 {
+		t.Errorf("Accesses = %d", s.Accesses())
+	}
+}

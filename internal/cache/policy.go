@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"fmt"
+
+	"randfill/internal/rng"
+)
+
+// Policy selects replacement victims within a set. Implementations keep
+// their state in the per-line stamp field managed by the set-associative
+// cache, so a single policy instance serves all sets.
+type Policy interface {
+	// Touch is called on every hit (fill=false) and every fill
+	// (fill=true) of way w; tick is a monotonically increasing access
+	// counter.
+	Touch(stamps []uint64, w int, tick uint64, fill bool)
+	// Victim returns the way to evict from a full set.
+	Victim(stamps []uint64) int
+	String() string
+}
+
+// LRU evicts the least recently used way (the paper's baseline, Table IV).
+type LRU struct{}
+
+// Touch records the access time of way w.
+func (LRU) Touch(stamps []uint64, w int, tick uint64, fill bool) { stamps[w] = tick }
+
+// Victim returns the way with the oldest access time.
+func (LRU) Victim(stamps []uint64) int {
+	best := 0
+	for w := 1; w < len(stamps); w++ {
+		if stamps[w] < stamps[best] {
+			best = w
+		}
+	}
+	return best
+}
+
+func (LRU) String() string { return "LRU" }
+
+// FIFO evicts the oldest-filled way; hits do not refresh a way's stamp.
+type FIFO struct{}
+
+// Touch records fill time; hits are ignored.
+func (FIFO) Touch(stamps []uint64, w int, tick uint64, fill bool) {
+	if fill {
+		stamps[w] = tick
+	}
+}
+
+// Victim returns the way with the oldest fill time.
+func (FIFO) Victim(stamps []uint64) int {
+	best := 0
+	for w := 1; w < len(stamps); w++ {
+		if stamps[w] < stamps[best] {
+			best = w
+		}
+	}
+	return best
+}
+
+func (FIFO) String() string { return "FIFO" }
+
+// Random evicts a uniformly random way (used by Newcache-style designs and
+// as an ablation for the SA cache).
+type Random struct {
+	Src *rng.Source
+}
+
+// Touch is a no-op for random replacement.
+func (Random) Touch(stamps []uint64, w int, tick uint64, fill bool) {}
+
+// Victim returns a uniformly random way.
+func (r Random) Victim(stamps []uint64) int {
+	if r.Src == nil {
+		panic("cache: Random policy requires a rng.Source")
+	}
+	return r.Src.Intn(len(stamps))
+}
+
+func (Random) String() string { return "random" }
+
+// PolicyByName returns a policy instance by its configuration name.
+func PolicyByName(name string, src *rng.Source) Policy {
+	switch name {
+	case "lru", "LRU", "":
+		return LRU{}
+	case "fifo", "FIFO":
+		return FIFO{}
+	case "random":
+		return Random{Src: src}
+	default:
+		panic(fmt.Sprintf("cache: unknown replacement policy %q", name))
+	}
+}

@@ -1,0 +1,262 @@
+package cache
+
+import (
+	"fmt"
+
+	"randfill/internal/mem"
+)
+
+// line is the per-way state of the set-associative cache.
+type line struct {
+	tag        mem.Line // full line number (tag comparison uses the whole value)
+	valid      bool
+	dirty      bool
+	referenced bool
+	locked     bool
+	owner      int
+	offset     int8
+	stamp      uint64 // replacement-policy state
+}
+
+// SetAssoc is a conventional set-associative cache with a pluggable
+// replacement policy. It also serves direct-mapped (Ways=1) and fully
+// associative (Sets=1) shapes.
+type SetAssoc struct {
+	geom   Geometry
+	sets   int
+	ways   int
+	lines  []line // sets*ways, row-major by set
+	policy Policy
+	tick   uint64
+	stats  Stats
+	onEv   EvictionObserver
+
+	// scratch buffer reused by victim selection to avoid per-fill allocs
+	stampBuf []uint64
+}
+
+var _ Cache = (*SetAssoc)(nil)
+
+// NewSetAssoc builds a cache with the given geometry and replacement
+// policy. It panics on invalid geometry (sizes must be line-multiple,
+// power-of-two set counts), mirroring a hardware configuration error.
+func NewSetAssoc(geom Geometry, policy Policy) *SetAssoc {
+	geom.check()
+	if policy == nil {
+		policy = LRU{}
+	}
+	sets := geom.Sets()
+	return &SetAssoc{
+		geom:     geom,
+		sets:     sets,
+		ways:     geom.Ways,
+		lines:    make([]line, sets*geom.Ways),
+		policy:   policy,
+		stampBuf: make([]uint64, geom.Ways),
+	}
+}
+
+// Geometry returns the cache's size and associativity.
+func (c *SetAssoc) Geometry() Geometry { return c.geom }
+
+// NumLines returns the total line capacity.
+func (c *SetAssoc) NumLines() int { return len(c.lines) }
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// Stats returns the live statistics counters.
+func (c *SetAssoc) Stats() *Stats { return &c.stats }
+
+// SetEvictionObserver registers fn to receive every displaced valid line.
+func (c *SetAssoc) SetEvictionObserver(fn EvictionObserver) { c.onEv = fn }
+
+// SetIndex returns the set index the line maps to.
+func (c *SetAssoc) SetIndex(l mem.Line) int { return int(uint64(l) & uint64(c.sets-1)) }
+
+func (c *SetAssoc) set(idx int) []line { return c.lines[idx*c.ways : (idx+1)*c.ways] }
+
+// find returns the way holding line l in set s, or -1.
+func (c *SetAssoc) find(s []line, l mem.Line) int {
+	for w := range s {
+		if s[w].valid && s[w].tag == l {
+			return w
+		}
+	}
+	return -1
+}
+
+// Lookup implements Cache.
+func (c *SetAssoc) Lookup(l mem.Line, write bool) bool {
+	s := c.set(c.SetIndex(l))
+	w := c.find(s, l)
+	if w < 0 {
+		c.stats.Misses++
+		return false
+	}
+	c.stats.Hits++
+	c.tick++
+	s[w].referenced = true
+	if write {
+		s[w].dirty = true
+	}
+	c.touch(s, w, false)
+	return true
+}
+
+// Probe implements Cache.
+func (c *SetAssoc) Probe(l mem.Line) bool {
+	return c.find(c.set(c.SetIndex(l)), l) >= 0
+}
+
+func (c *SetAssoc) touch(s []line, w int, fill bool) {
+	for i := range s {
+		c.stampBuf[i] = s[i].stamp
+	}
+	c.policy.Touch(c.stampBuf, w, c.tick, fill)
+	for i := range s {
+		s[i].stamp = c.stampBuf[i]
+	}
+}
+
+// Fill implements Cache.
+func (c *SetAssoc) Fill(l mem.Line, opts FillOpts) Victim {
+	s := c.set(c.SetIndex(l))
+	c.tick++
+	if w := c.find(s, l); w >= 0 {
+		// Refreshing an already-present line: update metadata only.
+		s[w].dirty = s[w].dirty || opts.Dirty
+		if opts.Lock {
+			s[w].locked = true
+			s[w].owner = opts.Owner
+		}
+		c.touch(s, w, true)
+		return Victim{}
+	}
+	c.stats.Fills++
+	// Prefer an invalid way.
+	w := -1
+	for i := range s {
+		if !s[i].valid {
+			w = i
+			break
+		}
+	}
+	var v Victim
+	if w < 0 {
+		for i := range s {
+			c.stampBuf[i] = s[i].stamp
+		}
+		w = c.policy.Victim(c.stampBuf)
+		v = c.evict(s, w)
+	}
+	s[w] = line{
+		tag:    l,
+		valid:  true,
+		dirty:  opts.Dirty,
+		locked: opts.Lock,
+		owner:  opts.Owner,
+		offset: opts.Offset,
+	}
+	c.touch(s, w, true)
+	return v
+}
+
+// evict clears way w of set s and returns its victim record, after
+// notifying the eviction observer and bumping counters.
+func (c *SetAssoc) evict(s []line, w int) Victim {
+	v := Victim{
+		Valid:      true,
+		Line:       s[w].tag,
+		Dirty:      s[w].dirty,
+		Referenced: s[w].referenced,
+		Offset:     s[w].offset,
+	}
+	c.stats.Evictions++
+	if v.Dirty {
+		c.stats.Writebacks++
+	}
+	if c.onEv != nil {
+		c.onEv(v)
+	}
+	s[w].valid = false
+	return v
+}
+
+// Invalidate implements Cache.
+func (c *SetAssoc) Invalidate(l mem.Line) bool {
+	s := c.set(c.SetIndex(l))
+	w := c.find(s, l)
+	if w < 0 {
+		return false
+	}
+	c.stats.Invalidates++
+	c.evict(s, w)
+	return true
+}
+
+// Flush implements Cache.
+func (c *SetAssoc) Flush() {
+	for i := range c.lines {
+		if c.lines[i].valid {
+			c.stats.Invalidates++
+			set := c.lines[i/c.ways*c.ways : i/c.ways*c.ways+c.ways]
+			c.evict(set, i%c.ways)
+		}
+	}
+}
+
+// Contents returns the line numbers of all valid lines, for tests and for
+// end-of-run profiler accounting.
+func (c *SetAssoc) Contents() []mem.Line {
+	var out []mem.Line
+	for i := range c.lines {
+		if c.lines[i].valid {
+			out = append(out, c.lines[i].tag)
+		}
+	}
+	return out
+}
+
+// DrainValid reports every still-valid line to the eviction observer without
+// invalidating it. The spatial-locality profiler calls it at end of run so
+// never-evicted lines are counted in the Eff(d) denominator.
+func (c *SetAssoc) DrainValid() {
+	if c.onEv == nil {
+		return
+	}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			c.onEv(Victim{
+				Valid:      true,
+				Line:       c.lines[i].tag,
+				Dirty:      c.lines[i].dirty,
+				Referenced: c.lines[i].referenced,
+				Offset:     c.lines[i].offset,
+			})
+		}
+	}
+}
+
+// IsLocked reports whether line l is present and locked.
+func (c *SetAssoc) IsLocked(l mem.Line) bool {
+	s := c.set(c.SetIndex(l))
+	w := c.find(s, l)
+	return w >= 0 && s[w].locked
+}
+
+// Owner returns the owner id of line l, or NoOwner if absent or unowned.
+func (c *SetAssoc) Owner(l mem.Line) int {
+	s := c.set(c.SetIndex(l))
+	if w := c.find(s, l); w >= 0 {
+		return s[w].owner
+	}
+	return NoOwner
+}
+
+func (c *SetAssoc) String() string {
+	return fmt.Sprintf("SA(%v, %v)", c.geom, c.policy)
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"randfill/internal/cache"
+	"randfill/internal/infotheory"
+	"randfill/internal/rng"
+	"randfill/internal/sim"
+	"randfill/internal/workloads"
+)
+
+// AblationWindowShape isolates the window-direction design choice: for the
+// security side (P1-P2 on the AES final-round table) the bidirectional
+// window is what matters ("randomized table lookups do not favor the
+// forward direction", Section V.A); for the streaming performance side the
+// forward window wins (Section VII).
+func AblationWindowShape(sc Scale) *Table {
+	t := &Table{
+		Title:   "Ablation: window shape (size 16) — security signal vs streaming speedup",
+		Headers: []string{"window", "P1-P2 (AES T4)", "libquantum IPC vs demand"},
+	}
+	shapes := []struct {
+		name string
+		w    rng.Window
+	}{
+		{"forward [0,15]", rng.Window{A: 0, B: 15}},
+		{"backward [-15,0]", rng.Window{A: 15, B: 0}},
+		{"bidirectional [-8,7]", rng.Window{A: 8, B: 7}},
+	}
+	bench, _ := workloads.ByName("libquantum")
+	trace := bench.Gen(sc.SpecAccesses, sc.Seed)
+	base := sim.New(sim.Config{Seed: sc.Seed}).RunTraceSteady(sim.ThreadConfig{}, trace)
+
+	for _, sh := range shapes {
+		mc := infotheory.MonteCarloP1P2(infotheory.P1P2Config{
+			NewCache: sa32kFactory(),
+			Window:   sh.w,
+			Trials:   sc.MonteCarloTrials / 2,
+			Region:   t4Region(),
+			Seed:     sc.Seed,
+		})
+		res := sim.New(sim.Config{Seed: sc.Seed}).RunTraceSteady(sim.ThreadConfig{
+			Mode: sim.ModeRandomFill, Window: sh.w,
+		}, trace)
+		t.AddRow(sh.name, fmt.Sprintf("%.3f", mc.Diff()), pct(res.IPC()/base.IPC()))
+	}
+	t.AddNote("the bidirectional shape gives the best security at equal size (the paper's choice for crypto); only the forward shape buys the streaming speedup")
+	return t
+}
+
+// AblationFillQueue isolates the random fill queue depth. With the FIFO
+// miss-queue arbitration this design uses, the queue drains promptly and
+// depth barely matters; under a strict demand-priority arbitration (not
+// modelled here) a shallow queue starves fills entirely — see DESIGN.md's
+// discussion of the 1-entry security configuration.
+func AblationFillQueue(sc Scale) *Table {
+	t := &Table{
+		Title:   "Ablation: random fill queue depth (AES-CBC, window [-16,+15], 2-entry miss queue)",
+		Headers: []string{"queue depth", "random fills landed", "IPC vs demand"},
+	}
+	trace := aesCBCTrace(sc)
+	base := sim.New(sim.Config{Seed: sc.Seed}).RunTrace(sim.ThreadConfig{}, trace)
+	for _, depth := range []int{1, 4, 16, 64} {
+		cfg := sim.DefaultConfig()
+		cfg.Seed = sc.Seed
+		cfg.MissQueue = 2
+		cfg.FillQueueCap = depth
+		res := sim.New(cfg).RunTrace(sim.ThreadConfig{
+			Mode: sim.ModeRandomFill, Window: rng.Window{A: 16, B: 15},
+		}, trace)
+		t.AddRow(fmt.Sprintf("%d", depth),
+			fmt.Sprintf("%d", res.RandomFills),
+			pct(res.IPC()/base.IPC()))
+	}
+	t.AddNote("fills converge to steady-state table residency regardless of depth under FIFO arbitration; landed-fill counts plateau once the tables are resident")
+	return t
+}
+
+// AblationMissQueue isolates the miss queue (MSHR) size, the knob the paper
+// turns between its performance configuration (4 entries) and its
+// attacker-favoring security configuration (1 entry).
+func AblationMissQueue(sc Scale) *Table {
+	t := &Table{
+		Title:   "Ablation: miss queue entries (AES-CBC, demand fetch)",
+		Headers: []string{"entries", "IPC", "vs 4 entries"},
+	}
+	trace := aesCBCTrace(sc)
+	var base float64
+	for _, n := range []int{1, 2, 4, 8} {
+		cfg := sim.DefaultConfig()
+		cfg.Seed = sc.Seed
+		cfg.MissQueue = n
+		res := sim.New(cfg).RunTrace(sim.ThreadConfig{}, trace)
+		if n == 4 {
+			base = res.IPC()
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.3f", res.IPC()), "")
+	}
+	for i, n := range []int{1, 2, 4, 8} {
+		cfg := sim.DefaultConfig()
+		cfg.Seed = sc.Seed
+		cfg.MissQueue = n
+		res := sim.New(cfg).RunTrace(sim.ThreadConfig{}, trace)
+		t.Rows[i][2] = pct(res.IPC() / base)
+	}
+	t.AddNote("fewer entries serialize misses, which is why the paper's 1-entry security configuration makes timing attacks an order of magnitude cheaper")
+	return t
+}
+
+// AblationDropOnHit isolates the tag-check drop of redundant random fill
+// requests (Section IV.B.2): without it, fills that would hit are issued
+// anyway, wasting L2 bandwidth for no security change.
+func AblationDropOnHit(sc Scale) *Table {
+	t := &Table{
+		Title:   "Ablation: drop-if-present tag check (AES-CBC, window [-16,+15])",
+		Headers: []string{"variant", "IPC vs demand", "L2 accesses vs demand"},
+	}
+	trace := aesCBCTrace(sc)
+	mBase := sim.New(sim.Config{Seed: sc.Seed})
+	base := mBase.RunTrace(sim.ThreadConfig{}, trace)
+
+	for _, keep := range []bool{false, true} {
+		m := sim.New(sim.Config{Seed: sc.Seed})
+		res := m.RunTrace(sim.ThreadConfig{
+			Mode:               sim.ModeRandomFill,
+			Window:             rng.Window{A: 16, B: 15},
+			KeepRedundantFills: keep,
+		}, trace)
+		name := "with drop (hardware design)"
+		if keep {
+			name = "without drop (ablated)"
+		}
+		t.AddRow(name, pct(res.IPC()/base.IPC()),
+			pct(float64(m.L2Accesses())/float64(mBase.L2Accesses())))
+	}
+	return t
+}
+
+// AblationL2RandomFill reproduces the Section VI observation: applying the
+// random fill policy at the L2 as well has negligible performance impact,
+// because the large L2 tolerates the extra pollution.
+func AblationL2RandomFill(sc Scale) *Table {
+	t := &Table{
+		Title:   "Ablation: random fill at L1 only vs L1+L2 (AES-CBC, window [-16,+15])",
+		Headers: []string{"variant", "IPC vs demand"},
+	}
+	trace := aesCBCTrace(sc)
+	base := sim.New(sim.Config{Seed: sc.Seed}).RunTrace(sim.ThreadConfig{}, trace)
+	w := rng.Window{A: 16, B: 15}
+
+	l1only := sim.New(sim.Config{Seed: sc.Seed}).RunTrace(sim.ThreadConfig{
+		Mode: sim.ModeRandomFill, Window: w,
+	}, trace)
+	both := sim.New(sim.Config{Seed: sc.Seed, L2Window: w}).RunTrace(sim.ThreadConfig{
+		Mode: sim.ModeRandomFill, Window: w,
+	}, trace)
+
+	t.AddRow("L1 random fill", pct(l1only.IPC()/base.IPC()))
+	t.AddRow("L1+L2 random fill", pct(both.IPC()/base.IPC()))
+	t.AddNote("paper Section VI: \"the performance impact is negligible since the L2 cache is large and can better tolerate the potential cache pollution\"")
+	return t
+}
+
+// sa32kFactory returns the standard Table III cache factory.
+func sa32kFactory() func(src *rng.Source) cache.Cache {
+	return func(src *rng.Source) cache.Cache {
+		return cache.NewSetAssoc(cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}, cache.LRU{})
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+
+	"randfill/internal/attacks"
+	"randfill/internal/sim"
+)
+
+// MissQueueSecurity reproduces the paper's observation that its 1-entry
+// miss-queue configuration "requires about 1 order of magnitude less
+// samples compared to the baseline configuration ... which has 4 miss queue
+// entries" (Section V.A): more outstanding misses overlap, blurring the
+// per-collision timing signal. At a fixed measurement budget, the attack
+// recovers more key relations against the smaller miss queue.
+func MissQueueSecurity(sc Scale) *Table {
+	t := &Table{
+		Title: "Section V.A: miss queue size vs collision attack progress",
+		Headers: []string{"miss queue entries", "sigma_T (cycles)",
+			"pairs recovered", "outcome"},
+	}
+	for _, entries := range []int{2, 4, 8} {
+		cfg := attacks.CollisionConfig{Sim: sim.DefaultConfig(), Seed: sc.Seed}
+		cfg.Sim.MissQueue = entries
+		res := attacks.MeasurementsToSuccess(cfg, sc.AttackBatch, sc.AttackMaxSamples)
+		outcome := fmt.Sprintf("no success at %d samples", res.Measurements)
+		if res.Success {
+			outcome = fmt.Sprintf("success at %d samples", res.Measurements)
+		}
+		t.AddRow(fmt.Sprintf("%d", entries),
+			fmt.Sprintf("%.1f", res.SigmaT),
+			fmt.Sprintf("%d/15", res.CorrectPairs),
+			outcome)
+	}
+	t.AddNote("paper: the 1-entry configuration needs ~10x fewer samples than the 4-entry baseline; here the 2-entry configuration recovers more pairs than 4 or 8 at the same budget (2 is the smallest queue that still lets random fill requests issue in a trace-driven model — DESIGN.md)")
+	return t
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"randfill/internal/aes"
+	"randfill/internal/cache"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+	"randfill/internal/sim"
+)
+
+// aesCBCTrace builds the Figure 6/7 workload: AES-CBC encryption of
+// sc.CBCBytes of random input (the paper uses 32 KB).
+func aesCBCTrace(sc Scale) mem.Trace {
+	src := rng.New(sc.Seed ^ 0xcbc)
+	var key, iv [16]byte
+	src.Bytes(key[:])
+	src.Bytes(iv[:])
+	pt := make([]byte, sc.CBCBytes)
+	src.Bytes(pt)
+	cipher, err := aes.New(key[:])
+	if err != nil {
+		panic(err)
+	}
+	tracer := &aes.Tracer{Cipher: cipher, Layout: aes.DefaultLayout()}
+	_, trace, err := tracer.EncryptCBC(pt, iv[:])
+	if err != nil {
+		panic(err)
+	}
+	return trace
+}
+
+// aesEncDecTrace builds the Figure 8 crypto workload: continuous AES
+// encryption and decryption (touching all ten tables).
+func aesEncDecTrace(sc Scale) mem.Trace {
+	src := rng.New(sc.Seed ^ 0xdec)
+	var key, iv [16]byte
+	src.Bytes(key[:])
+	src.Bytes(iv[:])
+	pt := make([]byte, sc.CBCBytes)
+	src.Bytes(pt)
+	cipher, err := aes.New(key[:])
+	if err != nil {
+		panic(err)
+	}
+	tracer := &aes.Tracer{Cipher: cipher, Layout: aes.DefaultLayout()}
+	ct, encTrace, err := tracer.EncryptCBC(pt, iv[:])
+	if err != nil {
+		panic(err)
+	}
+	_, decTrace, err := tracer.DecryptCBC(ct, iv[:])
+	if err != nil {
+		panic(err)
+	}
+	return append(encTrace, decTrace...)
+}
+
+// runAES runs the CBC trace on one machine/thread configuration and
+// returns the thread result.
+func runAES(cfg sim.Config, tc sim.ThreadConfig, trace mem.Trace) sim.Result {
+	return sim.New(cfg).RunTrace(tc, trace)
+}
+
+// encTables returns the five encryption-table regions (the Figure 6
+// security-critical data).
+func encTables() []mem.Region { return aes.DefaultLayout().EncTableRegions() }
+
+// allTables returns all ten table regions (the Figure 8 security-critical
+// data: encryption + decryption).
+func allTables() []mem.Region { return aes.DefaultLayout().AllTableRegions() }
+
+// figure6Geometries are the cache shapes of Figure 6.
+func figure6Geometries() []cache.Geometry {
+	var out []cache.Geometry
+	for _, kb := range []int{8, 16, 32} {
+		for _, ways := range []int{1, 2, 4} {
+			out = append(out, cache.Geometry{SizeBytes: kb * 1024, Ways: ways})
+		}
+	}
+	return out
+}
+
+// Figure6 reproduces the cryptographic-workload IPC comparison: for each L1
+// geometry, the IPC of PLcache+preload, disable-cache and random fill
+// [-16,+15], normalized to the demand-fetch baseline of the same geometry.
+func Figure6(sc Scale) *Table {
+	trace := aesCBCTrace(sc)
+	t := &Table{
+		Title:   "Figure 6: normalized IPC of AES-CBC under each defense",
+		Headers: []string{"L1 geometry", "baseline", "PLcache+preload", "disable cache", "random fill"},
+	}
+	for _, g := range figure6Geometries() {
+		base := func(kind sim.CacheKind) sim.Config {
+			cfg := sim.DefaultConfig()
+			cfg.L1 = g
+			cfg.L1Kind = kind
+			cfg.Seed = sc.Seed
+			return cfg
+		}
+		baseline := runAES(base(sim.KindSA), sim.ThreadConfig{}, trace)
+		preload := runAES(base(sim.KindPLcache), sim.ThreadConfig{
+			Mode: sim.ModePreload, SecretRegions: encTables(), Owner: 1,
+		}, trace)
+		disable := runAES(base(sim.KindSA), sim.ThreadConfig{Mode: sim.ModeDisableSecret}, trace)
+		rf := runAES(base(sim.KindSA), sim.ThreadConfig{
+			Mode: sim.ModeRandomFill, Window: rng.Window{A: 16, B: 15},
+		}, trace)
+		t.AddRow(g.String(), "100.0%",
+			pct(preload.IPC()/baseline.IPC()),
+			pct(disable.IPC()/baseline.IPC()),
+			pct(rf.IPC()/baseline.IPC()))
+	}
+	t.AddNote("paper: disable cache ≈ 55%% for all shapes; PLcache+preload 85%% at 8KB DM rising with size/ways; random fill ≥ 96.5%% at 8KB, ≈ 100%% at 32KB")
+	return t
+}
+
+// Figure7 reproduces the window-size sensitivity of the AES workload: IPC
+// normalized to the same cache with demand fetch, for the SA cache (8 KB DM
+// and 32 KB 4-way) and Newcache (8 KB and 32 KB).
+func Figure7(sc Scale) *Table {
+	trace := aesCBCTrace(sc)
+	t := &Table{
+		Title:   "Figure 7: normalized IPC of AES vs random fill window size",
+		Headers: []string{"window", "8KB DM SA", "32KB 4-way SA", "8KB Newcache", "32KB Newcache"},
+	}
+	configs := []struct {
+		kind sim.CacheKind
+		geom cache.Geometry
+	}{
+		{sim.KindSA, cache.Geometry{SizeBytes: 8 * 1024, Ways: 1}},
+		{sim.KindSA, cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}},
+		{sim.KindNewcache, cache.Geometry{SizeBytes: 8 * 1024, Ways: 1}},
+		{sim.KindNewcache, cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}},
+	}
+	baselines := make([]float64, len(configs))
+	for i, c := range configs {
+		cfg := sim.DefaultConfig()
+		cfg.L1 = c.geom
+		cfg.L1Kind = c.kind
+		cfg.Seed = sc.Seed
+		baselines[i] = runAES(cfg, sim.ThreadConfig{}, trace).IPC()
+	}
+	for _, size := range []int{1, 2, 4, 8, 16, 32} {
+		row := []string{fmt.Sprintf("%d", size)}
+		for i, c := range configs {
+			cfg := sim.DefaultConfig()
+			cfg.L1 = c.geom
+			cfg.L1Kind = c.kind
+			cfg.Seed = sc.Seed
+			tc := sim.ThreadConfig{}
+			if size > 1 {
+				tc = sim.ThreadConfig{Mode: sim.ModeRandomFill, Window: rng.Symmetric(size)}
+			}
+			res := runAES(cfg, tc, trace)
+			row = append(row, pct(res.IPC()/baselines[i]))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: SA insensitive to window size; Newcache degrades with window (max -9%% at size 32 on 8KB)")
+	return t
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

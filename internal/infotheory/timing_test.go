@@ -1,0 +1,80 @@
+package infotheory
+
+import (
+	"math"
+	"testing"
+
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+func region16() mem.Region { return mem.Region{Base: 0x11000, Size: 1024} }
+
+func TestEquation4DemandFetch(t *testing.T) {
+	// Demand fetch: P1 = 1, P2 = 0 in the two-access microbenchmark, so
+	// mu2 - mu1 must equal the full tmiss - thit = 19 cycles.
+	res := MeasureTimingSignal(TimingSignalConfig{
+		Window: rng.Window{},
+		Region: region16(),
+		Trials: 1500,
+		Seed:   1,
+	})
+	if res.P1 != 1 {
+		t.Errorf("P1 = %v, want 1 under demand fetch", res.P1)
+	}
+	if res.P2 != 0 {
+		t.Errorf("P2 = %v, want 0 (distinct lines from a clean cache)", res.P2)
+	}
+	if math.Abs(res.Measured-res.Predicted) > 2 {
+		t.Errorf("Eq.4 violated: measured %v vs predicted %v", res.Measured, res.Predicted)
+	}
+	if res.Measured < 15 {
+		t.Errorf("measured signal %v, want ≈ 19 cycles", res.Measured)
+	}
+}
+
+func TestEquation4RandomFillWindows(t *testing.T) {
+	// Under random fill the measured timing difference must track the
+	// analytical (P1-P2)(tmiss-thit) across window sizes, shrinking to
+	// ≈ 0 at the covering window.
+	for _, size := range []int{2, 8, 32} {
+		res := MeasureTimingSignal(TimingSignalConfig{
+			Window: rng.Symmetric(size),
+			Region: region16(),
+			Trials: 3000,
+			Seed:   uint64(size),
+		})
+		if math.Abs(res.Measured-res.Predicted) > 2.5 {
+			t.Errorf("size %d: Eq.4 violated: measured %v vs predicted %v (P1=%v P2=%v)",
+				size, res.Measured, res.Predicted, res.P1, res.P2)
+		}
+	}
+	covering := MeasureTimingSignal(TimingSignalConfig{
+		Window: rng.Window{A: 16, B: 15},
+		Region: region16(),
+		Trials: 4000,
+		Seed:   9,
+	})
+	if math.Abs(covering.Measured) > 1.5 {
+		t.Errorf("covering window: measured signal %v, want ≈ 0", covering.Measured)
+	}
+	if math.Abs(covering.P1-covering.P2) > 0.03 {
+		t.Errorf("covering window: P1-P2 = %v, want ≈ 0", covering.P1-covering.P2)
+	}
+}
+
+func TestEquation4SignalMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, size := range []int{1, 4, 16} {
+		res := MeasureTimingSignal(TimingSignalConfig{
+			Window: rng.Symmetric(size),
+			Region: region16(),
+			Trials: 2000,
+			Seed:   uint64(100 + size),
+		})
+		if res.Measured > prev+1 {
+			t.Errorf("size %d: signal %v rose above %v", size, res.Measured, prev)
+		}
+		prev = res.Measured
+	}
+}

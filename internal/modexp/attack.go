@@ -1,0 +1,115 @@
+package modexp
+
+import (
+	"math/big"
+
+	"randfill/internal/cache"
+	"randfill/internal/core"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+// SpyResult reports a Percival-style Flush-Reload attack against one
+// exponentiation.
+type SpyResult struct {
+	// Recovered is the exponent reconstructed from the observed table
+	// entries (valid when Complete).
+	Recovered *big.Int
+	// Complete reports whether every window produced exactly one
+	// observed entry.
+	Complete bool
+	// CorrectWindows counts windows whose observed entry matches the
+	// true exponent window.
+	CorrectWindows int
+	// Windows is the total window count.
+	Windows int
+}
+
+// Spy mounts the attack: for every window of the victim's exponentiation,
+// the attacker flushes the multiplier table, lets the victim perform that
+// window's lookup through the cache, and reloads each entry's lines to see
+// which entry became cached. With demand fetch the observed entry IS the
+// window's exponent bits; under random fill the observation is a random
+// neighbor.
+//
+// The cache is built by mk; the victim's fill policy is the window vw.
+func Spy(e *Exponentiator, x *big.Int, lay Layout, mk func(src *rng.Source) cache.Cache, vw rng.Window, seed uint64) SpyResult {
+	src := rng.New(seed)
+	c := mk(src.Split(1))
+	eng := core.NewEngine(c, src.Split(2))
+	eng.SetRR(vw.A, vw.B)
+
+	entries := e.TableSize()
+	region := lay.TableRegion(entries)
+	nw := e.Windows(x.BitLen())
+
+	res := SpyResult{Windows: nw, Complete: true}
+	observed := make([]int, 0, nw)
+
+	spy := &spyRec{
+		eng:     eng,
+		c:       c,
+		lay:     lay,
+		region:  region,
+		entries: entries,
+	}
+	e.Exp(x, spy)
+
+	for wi := 0; wi < nw; wi++ {
+		truth := windowValue(x, nw-1-wi, e.w)
+		obs := -1
+		if wi < len(spy.observed) {
+			obs = spy.observed[wi]
+		}
+		if obs < 0 {
+			res.Complete = false
+			obs = 0
+		}
+		if obs == truth {
+			res.CorrectWindows++
+		}
+		observed = append(observed, obs)
+	}
+
+	// Reassemble the exponent from the observed windows (MSB first).
+	rec := new(big.Int)
+	for _, v := range observed {
+		rec.Lsh(rec, e.w)
+		rec.Or(rec, big.NewInt(int64(v)))
+	}
+	res.Recovered = rec
+	return res
+}
+
+// spyRec interposes on each window's lookup: flush, victim access, reload.
+type spyRec struct {
+	eng      *core.Engine
+	c        cache.Cache
+	lay      Layout
+	region   mem.Region
+	entries  int
+	observed []int
+}
+
+// Lookup implements Recorder: it performs the victim's cache accesses for
+// entry `index` and then the attacker's flush+reload observation.
+func (s *spyRec) Lookup(index, window int) {
+	// Attacker flushes the whole table (plus the window slop).
+	for _, l := range s.region.Lines() {
+		s.c.Invalidate(l)
+	}
+	// Victim touches every line of the selected multiplier entry.
+	for _, l := range s.lay.EntryLines(index) {
+		s.eng.Access(l, false)
+	}
+	// Attacker reloads each entry's first line; a cached line marks the
+	// entry as observed.
+	obs := -1
+	for i := 0; i < s.entries; i++ {
+		if s.c.Probe(s.lay.EntryLines(i)[0]) {
+			obs = i
+			break
+		}
+	}
+	s.observed = append(s.observed, obs)
+}

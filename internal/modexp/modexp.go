@@ -1,0 +1,127 @@
+// Package modexp implements fixed-window modular exponentiation with a
+// precomputed multiplier table — the public-key victim the paper names
+// ("the multipliers table in the public-key algorithms (e.g., RSA) ...
+// implemented as lookup tables indexed by a linear function of the secret
+// key"). Each window of secret exponent bits indexes the table, so an
+// attacker who learns which table entry was touched (Percival's attack)
+// reads the exponent directly; the random fill window de-correlates the
+// cache state from the index.
+package modexp
+
+import (
+	"fmt"
+	"math/big"
+
+	"randfill/internal/mem"
+)
+
+// Recorder observes the secret-dependent multiplier-table lookups: index is
+// the table entry (the window's exponent bits) and window counts windows
+// from the most significant down.
+type Recorder interface {
+	Lookup(index, window int)
+}
+
+// Exponentiator computes base^x mod n by the fixed-window (2^w-ary) method.
+type Exponentiator struct {
+	w     uint
+	mod   *big.Int
+	table []*big.Int // table[i] = base^i mod n
+}
+
+// New precomputes the multiplier table for the given base and modulus with
+// w-bit windows (w in 1..8; RSA implementations commonly use 4 or 5).
+func New(base, mod *big.Int, w uint) (*Exponentiator, error) {
+	if w < 1 || w > 8 {
+		return nil, fmt.Errorf("modexp: window width %d out of 1..8", w)
+	}
+	if mod.Sign() <= 0 || mod.Cmp(big.NewInt(1)) == 0 {
+		return nil, fmt.Errorf("modexp: invalid modulus")
+	}
+	e := &Exponentiator{w: w, mod: new(big.Int).Set(mod)}
+	n := 1 << w
+	e.table = make([]*big.Int, n)
+	e.table[0] = big.NewInt(1)
+	b := new(big.Int).Mod(base, mod)
+	for i := 1; i < n; i++ {
+		e.table[i] = new(big.Int).Mod(new(big.Int).Mul(e.table[i-1], b), mod)
+	}
+	return e, nil
+}
+
+// TableSize returns the number of multiplier-table entries (2^w).
+func (e *Exponentiator) TableSize() int { return len(e.table) }
+
+// Windows returns the number of w-bit windows an exponent of the given bit
+// length decomposes into.
+func (e *Exponentiator) Windows(bits int) int {
+	return (bits + int(e.w) - 1) / int(e.w)
+}
+
+// Exp computes base^x mod n, reporting each multiplier-table lookup to rec
+// (nil for none). Every window performs a lookup — including zero windows —
+// as constant-*sequence* implementations do; the leakage is purely which
+// entry is read.
+func (e *Exponentiator) Exp(x *big.Int, rec Recorder) *big.Int {
+	if x.Sign() < 0 {
+		panic("modexp: negative exponent")
+	}
+	bits := x.BitLen()
+	if bits == 0 {
+		return big.NewInt(1)
+	}
+	nw := e.Windows(bits)
+	acc := big.NewInt(1)
+	for wi := nw - 1; wi >= 0; wi-- {
+		// Square w times.
+		for s := uint(0); s < e.w; s++ {
+			acc.Mod(acc.Mul(acc, acc), e.mod)
+		}
+		idx := windowValue(x, wi, e.w)
+		if rec != nil {
+			rec.Lookup(idx, nw-1-wi)
+		}
+		acc.Mod(acc.Mul(acc, e.table[idx]), e.mod)
+	}
+	return acc
+}
+
+// windowValue extracts the wi-th w-bit window (window 0 = least
+// significant) of x.
+func windowValue(x *big.Int, wi int, w uint) int {
+	v := 0
+	for b := 0; b < int(w); b++ {
+		bit := x.Bit(wi*int(w) + b)
+		v |= int(bit) << b
+	}
+	return v
+}
+
+// Layout places the multiplier table in the simulated address space. Each
+// entry spans EntryBytes bytes (the size of a modulus-width number), so the
+// table covers TableSize * EntryBytes/LineSize cache lines.
+type Layout struct {
+	Table      mem.Addr
+	EntryBytes int
+}
+
+// DefaultLayout places a 1024-bit (128-byte-entry) multiplier table.
+func DefaultLayout() Layout {
+	return Layout{Table: 0x300000, EntryBytes: 128}
+}
+
+// EntryLines returns the cache lines of table entry i.
+func (l Layout) EntryLines(i int) []mem.Line {
+	r := l.EntryRegion(i)
+	return r.Lines()
+}
+
+// EntryRegion returns the memory region of table entry i.
+func (l Layout) EntryRegion(i int) mem.Region {
+	return mem.Region{Base: l.Table + mem.Addr(i*l.EntryBytes), Size: uint64(l.EntryBytes)}
+}
+
+// TableRegion returns the whole table's region for a 2^w-entry table.
+func (l Layout) TableRegion(entries int) mem.Region {
+	return mem.Region{Base: l.Table, Size: uint64(entries * l.EntryBytes)}
+}

@@ -1,0 +1,274 @@
+// Package newcache implements Newcache (Wang & Lee, MICRO 2008; Liu & Lee,
+// HASP 2013): a randomization-based secure cache organized as a logical
+// direct-mapped (LDM) cache whose index space is larger than the physical
+// cache (extra index bits k), with a remapping table providing the
+// logical-to-physical indirection and randomized replacement de-correlating
+// cache contention from memory addresses.
+//
+// The model implements the two miss classes of the LDM design:
+//
+//   - index miss: the logical index has no valid mapping. The incoming line
+//     is placed in a uniformly random physical line (the SecRAND behaviour),
+//     whose previous logical mapping is torn down.
+//   - tag miss: the logical index maps to a physical line holding a
+//     different tag. The conflicting physical line itself is replaced
+//     (direct-mapped semantics within the logical cache).
+//
+// Because the logical index space is 2^k times larger than the physical
+// cache, index misses dominate and replacement is effectively random, which
+// is the property the paper relies on ("completely cleaning Newcache is
+// harder than cleaning the SA cache, due to Newcache's random replacement
+// algorithm", Section V.A). The random-fill engine in internal/core layers
+// on top of this type exactly as it does on the SA cache.
+package newcache
+
+import (
+	"fmt"
+
+	"randfill/internal/cache"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+type ncLine struct {
+	tag        mem.Line
+	lidx       int // logical index currently mapped to this physical line
+	domain     int // trust domain whose table maps this line
+	valid      bool
+	dirty      bool
+	referenced bool
+	offset     int8
+}
+
+// MaxDomains bounds the number of protected trust domains with private
+// remapping tables (Wang & Lee: "Protected processes have different
+// remapping tables, while all unprotected processes share the same
+// remapping table"). Domain 0 is the shared unprotected table.
+const MaxDomains = 4
+
+// Newcache is a logical direct-mapped secure cache with a remapping table.
+type Newcache struct {
+	physLines  int
+	extraBits  int
+	logicalCap int
+	lidxMask   uint64
+	// remaps[d] is trust domain d's remapping table: logical index ->
+	// physical line, or -1.
+	remaps [MaxDomains][]int32
+	active int
+	lines  []ncLine
+	src    *rng.Source
+	stats  cache.Stats
+	onEv   cache.EvictionObserver
+}
+
+var _ cache.Cache = (*Newcache)(nil)
+
+// DefaultExtraBits is the number of extra index bits k. The Newcache paper
+// finds k=4 sufficient to make conflict misses rare.
+const DefaultExtraBits = 4
+
+// New builds a Newcache with sizeBytes capacity and k extra index bits,
+// drawing replacement randomness from src.
+func New(sizeBytes, extraBits int, src *rng.Source) *Newcache {
+	if sizeBytes <= 0 || sizeBytes%mem.LineSize != 0 {
+		panic(fmt.Sprintf("newcache: bad size %d", sizeBytes))
+	}
+	phys := sizeBytes / mem.LineSize
+	if phys&(phys-1) != 0 {
+		panic(fmt.Sprintf("newcache: line count %d not a power of two", phys))
+	}
+	if extraBits < 0 || extraBits > 16 {
+		panic(fmt.Sprintf("newcache: bad extra bits %d", extraBits))
+	}
+	if src == nil {
+		panic("newcache: nil rng source")
+	}
+	logical := phys << extraBits
+	c := &Newcache{
+		physLines:  phys,
+		extraBits:  extraBits,
+		logicalCap: logical,
+		lidxMask:   uint64(logical - 1),
+		lines:      make([]ncLine, phys),
+		src:        src,
+	}
+	for d := range c.remaps {
+		c.remaps[d] = make([]int32, logical)
+		for i := range c.remaps[d] {
+			c.remaps[d][i] = -1
+		}
+	}
+	return c
+}
+
+// SetActiveDomain selects the trust domain whose remapping table maps
+// subsequent accesses. Out-of-range domains are clamped into
+// [0, MaxDomains).
+func (c *Newcache) SetActiveDomain(d int) {
+	if d < 0 {
+		d = 0
+	}
+	c.active = d % MaxDomains
+}
+
+// ActiveDomain returns the currently selected trust domain.
+func (c *Newcache) ActiveDomain() int { return c.active }
+
+// LogicalIndex returns the logical (extended) index of line l.
+func (c *Newcache) LogicalIndex(l mem.Line) int { return int(uint64(l) & c.lidxMask) }
+
+// NumLines returns the physical line capacity.
+func (c *Newcache) NumLines() int { return c.physLines }
+
+// Stats returns the live statistics counters.
+func (c *Newcache) Stats() *cache.Stats { return &c.stats }
+
+// SetEvictionObserver registers fn to receive every displaced valid line.
+func (c *Newcache) SetEvictionObserver(fn cache.EvictionObserver) { c.onEv = fn }
+
+// locate returns the physical line holding l under the active domain's
+// remapping table, or -1.
+func (c *Newcache) locate(l mem.Line) int {
+	p := c.remaps[c.active][c.LogicalIndex(l)]
+	if p >= 0 && c.lines[p].valid && c.lines[p].tag == l {
+		return int(p)
+	}
+	return -1
+}
+
+// Lookup implements cache.Cache.
+func (c *Newcache) Lookup(l mem.Line, write bool) bool {
+	p := c.locate(l)
+	if p < 0 {
+		c.stats.Misses++
+		return false
+	}
+	c.stats.Hits++
+	c.lines[p].referenced = true
+	if write {
+		c.lines[p].dirty = true
+	}
+	return true
+}
+
+// Probe implements cache.Cache.
+func (c *Newcache) Probe(l mem.Line) bool { return c.locate(l) >= 0 }
+
+// Fill implements cache.Cache.
+func (c *Newcache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
+	lidx := c.LogicalIndex(l)
+	if p := c.locate(l); p >= 0 {
+		c.lines[p].dirty = c.lines[p].dirty || opts.Dirty
+		return cache.Victim{}
+	}
+	c.stats.Fills++
+
+	var p int
+	if mapped := c.remaps[c.active][lidx]; mapped >= 0 && c.lines[mapped].valid {
+		// Tag miss: replace the conflicting line (LDM semantics).
+		p = int(mapped)
+	} else {
+		// Index miss: random replacement (SecRAND).
+		p = c.src.Intn(c.physLines)
+	}
+
+	var v cache.Victim
+	if c.lines[p].valid {
+		v = c.evict(p)
+	}
+	c.lines[p] = ncLine{
+		tag:    l,
+		lidx:   lidx,
+		domain: c.active,
+		valid:  true,
+		dirty:  opts.Dirty,
+		offset: opts.Offset,
+	}
+	c.remaps[c.active][lidx] = int32(p)
+	return v
+}
+
+// evict clears physical line p, tears down its mapping, and reports the
+// victim.
+func (c *Newcache) evict(p int) cache.Victim {
+	ln := &c.lines[p]
+	v := cache.Victim{
+		Valid:      true,
+		Line:       ln.tag,
+		Dirty:      ln.dirty,
+		Referenced: ln.referenced,
+		Offset:     ln.offset,
+	}
+	c.stats.Evictions++
+	if v.Dirty {
+		c.stats.Writebacks++
+	}
+	if c.onEv != nil {
+		c.onEv(v)
+	}
+	if c.remaps[ln.domain][ln.lidx] == int32(p) {
+		c.remaps[ln.domain][ln.lidx] = -1
+	}
+	ln.valid = false
+	return v
+}
+
+// Invalidate implements cache.Cache. Unlike Lookup, invalidation matches
+// by tag across all physical lines (a clflush snoops by address, not
+// through the issuing process's remapping table).
+func (c *Newcache) Invalidate(l mem.Line) bool {
+	for p := range c.lines {
+		if c.lines[p].valid && c.lines[p].tag == l {
+			c.stats.Invalidates++
+			c.evict(p)
+			return true
+		}
+	}
+	return false
+}
+
+// Flush implements cache.Cache.
+func (c *Newcache) Flush() {
+	for p := range c.lines {
+		if c.lines[p].valid {
+			c.stats.Invalidates++
+			c.evict(p)
+		}
+	}
+}
+
+// DrainValid reports every still-valid line to the eviction observer
+// without invalidating it (end-of-run profiler accounting).
+func (c *Newcache) DrainValid() {
+	if c.onEv == nil {
+		return
+	}
+	for p := range c.lines {
+		if c.lines[p].valid {
+			ln := &c.lines[p]
+			c.onEv(cache.Victim{
+				Valid:      true,
+				Line:       ln.tag,
+				Dirty:      ln.dirty,
+				Referenced: ln.referenced,
+				Offset:     ln.offset,
+			})
+		}
+	}
+}
+
+// Contents returns the line numbers of all valid lines.
+func (c *Newcache) Contents() []mem.Line {
+	var out []mem.Line
+	for p := range c.lines {
+		if c.lines[p].valid {
+			out = append(out, c.lines[p].tag)
+		}
+	}
+	return out
+}
+
+func (c *Newcache) String() string {
+	return fmt.Sprintf("Newcache(%dKB, k=%d)", c.physLines*mem.LineSize/1024, c.extraBits)
+}

@@ -1,0 +1,72 @@
+// Package prefetch implements the tagged next-line prefetcher the paper
+// compares against in Section VII (Vanderwiel & Lilja's taxonomy): a 1-bit
+// tag per cache line detects the first reference to a demand-fetched or
+// prefetched line and triggers a fetch of the next sequential line.
+package prefetch
+
+import "randfill/internal/mem"
+
+// Prefetcher observes L1 demand traffic and proposes background fills.
+type Prefetcher interface {
+	// OnFill is called when a line is installed in the L1, with
+	// byPrefetch true for prefetcher-initiated fills.
+	OnFill(line mem.Line, byPrefetch bool)
+	// OnHit is called on every demand hit; it returns lines to prefetch.
+	OnHit(line mem.Line) []mem.Line
+	// OnMiss is called on every demand miss; it returns lines to
+	// prefetch.
+	OnMiss(line mem.Line) []mem.Line
+}
+
+// Tagged is the classic tagged sequential prefetcher: a prefetch of line
+// i+1 is issued when line i is demand-fetched (miss) and when a prefetched
+// line is referenced for the first time (tagged hit).
+type Tagged struct {
+	// Degree is how many sequential lines to prefetch per trigger
+	// (default 1).
+	Degree int
+
+	tags map[mem.Line]bool
+}
+
+// NewTagged returns a degree-1 tagged prefetcher.
+func NewTagged() *Tagged {
+	return &Tagged{Degree: 1, tags: make(map[mem.Line]bool)}
+}
+
+func (t *Tagged) next(line mem.Line) []mem.Line {
+	d := t.Degree
+	if d <= 0 {
+		d = 1
+	}
+	out := make([]mem.Line, d)
+	for i := range out {
+		out[i] = line + mem.Line(i) + 1
+	}
+	return out
+}
+
+// OnFill implements Prefetcher: prefetched lines are tagged so their first
+// reference can re-trigger the prefetcher.
+func (t *Tagged) OnFill(line mem.Line, byPrefetch bool) {
+	if byPrefetch {
+		t.tags[line] = true
+	} else {
+		delete(t.tags, line)
+	}
+}
+
+// OnHit implements Prefetcher: the first hit on a tagged (prefetched) line
+// clears its tag and prefetches the next line(s).
+func (t *Tagged) OnHit(line mem.Line) []mem.Line {
+	if !t.tags[line] {
+		return nil
+	}
+	delete(t.tags, line)
+	return t.next(line)
+}
+
+// OnMiss implements Prefetcher: a demand miss prefetches the next line(s).
+func (t *Tagged) OnMiss(line mem.Line) []mem.Line {
+	return t.next(line)
+}

@@ -1,0 +1,92 @@
+package prefetch
+
+import (
+	"testing"
+
+	"randfill/internal/mem"
+)
+
+func TestMissTriggersNextLine(t *testing.T) {
+	p := NewTagged()
+	got := p.OnMiss(10)
+	if len(got) != 1 || got[0] != 11 {
+		t.Fatalf("OnMiss(10) = %v, want [11]", got)
+	}
+}
+
+func TestTaggedHitRetriggers(t *testing.T) {
+	p := NewTagged()
+	p.OnFill(11, true) // prefetched line lands, tagged
+	got := p.OnHit(11) // first reference clears the tag and prefetches
+	if len(got) != 1 || got[0] != 12 {
+		t.Fatalf("OnHit(11) = %v, want [12]", got)
+	}
+	if got := p.OnHit(11); got != nil {
+		t.Fatalf("second hit retriggered: %v", got)
+	}
+}
+
+func TestDemandFillClearsTag(t *testing.T) {
+	p := NewTagged()
+	p.OnFill(20, true)
+	p.OnFill(20, false) // demand fill overwrites the prefetch tag
+	if got := p.OnHit(20); got != nil {
+		t.Fatalf("hit on demand-filled line prefetched: %v", got)
+	}
+}
+
+func TestUntaggedHitIsQuiet(t *testing.T) {
+	p := NewTagged()
+	if got := p.OnHit(5); got != nil {
+		t.Fatalf("hit on never-filled line prefetched: %v", got)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	p := NewTagged()
+	p.Degree = 3
+	got := p.OnMiss(100)
+	want := []mem.Line{101, 102, 103}
+	if len(got) != 3 {
+		t.Fatalf("degree-3 OnMiss = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("degree-3 OnMiss = %v, want %v", got, want)
+		}
+	}
+	// A non-positive degree falls back to 1.
+	p.Degree = 0
+	if got := p.OnMiss(1); len(got) != 1 {
+		t.Fatalf("degree-0 OnMiss = %v", got)
+	}
+}
+
+func TestSequentialStreamChain(t *testing.T) {
+	// A pure stream: each miss and each first-reference of a prefetched
+	// line keeps the chain going one line ahead.
+	p := NewTagged()
+	issued := map[mem.Line]bool{}
+	for l := mem.Line(0); l < 50; l++ {
+		var reqs []mem.Line
+		if issued[l] {
+			p.OnFill(l, true)
+			reqs = p.OnHit(l)
+		} else {
+			reqs = p.OnMiss(l)
+		}
+		for _, r := range reqs {
+			issued[r] = true
+		}
+	}
+	// After warm-up every line should have been prefetched ahead of use.
+	missCount := 0
+	for l := mem.Line(1); l < 50; l++ {
+		if !issued[l] {
+			missCount++
+		}
+	}
+	if missCount != 0 {
+		t.Errorf("%d lines were never prefetched in a pure stream", missCount)
+	}
+}

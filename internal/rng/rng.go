@@ -1,0 +1,79 @@
+// Package rng provides the deterministic random number generation used by
+// every stochastic component of the simulator: the random fill engine, the
+// random replacement policies, the synthetic workload generators, and the
+// Monte Carlo security analyses.
+//
+// A hardware random fill engine would use a free-running RNG (the paper
+// suggests a PRNG with a truly random seed). For reproducible experiments we
+// use a seeded xorshift64* generator; distinct subsystems derive independent
+// streams from a root seed via Split.
+package rng
+
+// Source is a deterministic pseudo-random number generator (xorshift64*).
+// The zero value is not valid; use New.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. A zero seed is remapped to a fixed
+// non-zero constant because xorshift has an all-zero fixed point.
+func New(seed uint64) *Source {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	s := &Source{state: seed}
+	// Warm up so that small seeds do not yield correlated first outputs.
+	for i := 0; i < 4; i++ {
+		s.Uint64()
+	}
+	return s
+}
+
+// Split derives a new independent Source from s, keyed by id. Two Splits
+// with different ids produce unrelated streams, letting subsystems share one
+// root seed without sharing a stream.
+func (s *Source) Split(id uint64) *Source {
+	// SplitMix64-style mixing of the current state with the id.
+	z := s.Uint64() + id*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return New(z ^ (z >> 31))
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	x := s.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Multiply-shift bounded generation (Lemire); bias is negligible for
+	// the small n used here (< 2^32).
+	return int((s.Uint64() >> 32) * uint64(n) >> 32)
+}
+
+// Byte returns a uniform random byte.
+func (s *Source) Byte() byte { return byte(s.Uint64() >> 56) }
+
+// Bytes fills p with random bytes.
+func (s *Source) Bytes(p []byte) {
+	for i := range p {
+		p[i] = s.Byte()
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.Float64() < p }

@@ -1,0 +1,225 @@
+// Package sim is the timing simulator the experiments run on: a trace-driven
+// model of a 4-wide out-of-order processor with a two-level non-blocking
+// write-back cache hierarchy, reproducing the paper's gem5 configuration
+// (Table IV) at the granularity the experiments need — hit/miss behaviour,
+// miss-queue (MSHR) occupancy and merging, fill policies, and SMT
+// co-execution.
+//
+// The model is deliberately simple and documented in DESIGN.md: instruction
+// issue costs 1/IssueWidth cycles per instruction; independent misses
+// overlap up to the miss-queue capacity; an access marked Dependent waits
+// for all outstanding demand misses (the load-to-use serialization the
+// AES round structure produces); random-fill and prefetch requests ride the
+// same miss queue in the background.
+package sim
+
+import (
+	"fmt"
+
+	"randfill/internal/cache"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+// CacheKind selects the L1 data cache architecture.
+type CacheKind string
+
+const (
+	// KindSA is a conventional set-associative cache (Table IV baseline).
+	KindSA CacheKind = "sa"
+	// KindNewcache is the Newcache secure cache.
+	KindNewcache CacheKind = "newcache"
+	// KindPLcache is the PLcache partition-locked cache.
+	KindPLcache CacheKind = "plcache"
+	// KindRPcache is the RPcache permutation-randomized cache.
+	KindRPcache CacheKind = "rpcache"
+	// KindNoMo is the NoMo statically way-partitioned SMT cache.
+	KindNoMo CacheKind = "nomo"
+)
+
+// Config mirrors the paper's Table IV simulator configuration.
+type Config struct {
+	// L1 data cache geometry and architecture.
+	L1     cache.Geometry
+	L1Kind CacheKind
+	// L1Policy is the SA replacement policy name ("lru", "random",
+	// "fifo"); ignored for Newcache and PLcache.
+	L1Policy string
+	// ExtraBits is Newcache's number of extra index bits k.
+	ExtraBits int
+
+	// L2 unified cache geometry (always set-associative LRU).
+	L2 cache.Geometry
+
+	// Latencies in cycles.
+	L1HitLat uint64 // L1 hit (Table IV: 1)
+	L2HitLat uint64 // L1 miss, L2 hit (Table IV: 20)
+	MemLat   uint64 // additional DRAM latency on L2 miss
+
+	// MissQueue is the number of miss-queue (MSHR) entries per thread
+	// (Table IV: 4; the security evaluation also uses 1).
+	MissQueue int
+
+	// NoMoThreads and NoMoReserved configure the NoMo partitioning
+	// (defaults: 2 threads, 1 reserved way each).
+	NoMoThreads  int
+	NoMoReserved int
+
+	// FillQueueCap bounds the random fill queue (Figure 3's FIFO;
+	// default 64). An ablation knob: a tiny queue drops fills under
+	// bursts of back-to-back misses.
+	FillQueueCap int
+
+	// L2Window, when non-zero, applies the random fill policy at the L2
+	// as well: an L2 miss forwards the line upward without installing it
+	// and installs a random neighbor within the window instead (the
+	// "both L1 and L2 are random fill caches" variant of Section VI).
+	L2Window rng.Window
+
+	// IssueWidth is the processor issue width (Table IV: 4-way OoO).
+	IssueWidth int
+
+	// Seed drives all simulator randomness (replacement, fill windows).
+	Seed uint64
+}
+
+// DefaultConfig returns the Table IV baseline: 32 KB 4-way L1D with LRU,
+// 2 MB 8-way L2, 1/20-cycle hit latencies, DDR3-1600-class memory latency,
+// 4 miss queue entries, 4-wide issue.
+func DefaultConfig() Config {
+	return Config{
+		L1:         cache.Geometry{SizeBytes: 32 * 1024, Ways: 4},
+		L1Kind:     KindSA,
+		L1Policy:   "lru",
+		ExtraBits:  4,
+		L2:         cache.Geometry{SizeBytes: 2 * 1024 * 1024, Ways: 8},
+		L1HitLat:   1,
+		L2HitLat:   20,
+		MemLat:     160,
+		MissQueue:  4,
+		IssueWidth: 4,
+		Seed:       1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.L1.SizeBytes == 0 {
+		c.L1 = d.L1
+	}
+	if c.L1Kind == "" {
+		c.L1Kind = KindSA
+	}
+	if c.L2.SizeBytes == 0 {
+		c.L2 = d.L2
+	}
+	if c.L1HitLat == 0 {
+		c.L1HitLat = d.L1HitLat
+	}
+	if c.L2HitLat == 0 {
+		c.L2HitLat = d.L2HitLat
+	}
+	if c.MemLat == 0 {
+		c.MemLat = d.MemLat
+	}
+	if c.MissQueue == 0 {
+		c.MissQueue = d.MissQueue
+	}
+	if c.IssueWidth == 0 {
+		c.IssueWidth = d.IssueWidth
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.ExtraBits == 0 {
+		c.ExtraBits = d.ExtraBits
+	}
+	if c.FillQueueCap == 0 {
+		c.FillQueueCap = 64
+	}
+	return c
+}
+
+// buildL1 constructs the configured L1 cache.
+func (c Config) buildL1(src *rng.Source) cache.Cache {
+	switch c.L1Kind {
+	case KindSA:
+		return cache.NewSetAssoc(c.L1, cache.PolicyByName(c.L1Policy, src))
+	case KindNewcache:
+		return newcacheBuild(c.L1.SizeBytes, c.ExtraBits, src)
+	case KindPLcache:
+		return plcacheBuild(c.L1)
+	case KindRPcache:
+		return rpcacheBuild(c.L1, src)
+	case KindNoMo:
+		threads, reserved := c.NoMoThreads, c.NoMoReserved
+		if threads == 0 {
+			threads = 2
+		}
+		if reserved == 0 {
+			reserved = 1
+		}
+		return nomoBuild(c.L1, threads, reserved)
+	default:
+		panic(fmt.Sprintf("sim: unknown L1 cache kind %q", c.L1Kind))
+	}
+}
+
+// FillMode selects a thread's cache fill policy (the axis the paper's
+// evaluation sweeps).
+type FillMode int
+
+const (
+	// ModeDemand is the conventional demand fetch baseline.
+	ModeDemand FillMode = iota
+	// ModeRandomFill is the paper's random fill policy; the window comes
+	// from ThreadConfig.Window.
+	ModeRandomFill
+	// ModeDisableSecret disables the cache for security-critical
+	// accesses (the "disable cache" constant-time baseline): accesses
+	// with Secret set bypass the L1 entirely.
+	ModeDisableSecret
+	// ModePreload is the PLcache+preload baseline: the thread's
+	// SecretRegions are preloaded and locked at thread creation
+	// (requires L1Kind == KindPLcache).
+	ModePreload
+	// ModeInforming is the "informing loads" baseline (Kong et al.,
+	// HPCA 2009): security-critical loads that miss invoke a user-level
+	// exception handler that reloads every security-critical line. The
+	// handler's invocation overhead plus the reload traffic is charged
+	// on every secret-access miss — the approach the paper finds slower
+	// than PLcache+preload and abusable for denial of service.
+	ModeInforming
+)
+
+func (m FillMode) String() string {
+	switch m {
+	case ModeDemand:
+		return "demand"
+	case ModeRandomFill:
+		return "randomfill"
+	case ModeDisableSecret:
+		return "disable-cache"
+	case ModePreload:
+		return "plcache+preload"
+	case ModeInforming:
+		return "informing-loads"
+	default:
+		return fmt.Sprintf("FillMode(%d)", int(m))
+	}
+}
+
+// ThreadConfig describes one hardware thread's fill policy.
+type ThreadConfig struct {
+	Mode FillMode
+	// Window is the random fill window (ModeRandomFill only).
+	Window rng.Window
+	// SecretRegions lists the security-critical regions, used by
+	// ModePreload (what to lock) and available to ModeDisableSecret.
+	SecretRegions []mem.Region
+	// Owner is the process id recorded on lines this thread fills.
+	Owner int
+	// KeepRedundantFills disables the engine's drop-if-present tag check
+	// (ablation only).
+	KeepRedundantFills bool
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"randfill/internal/cache"
+	"randfill/internal/mem"
+	"randfill/internal/newcache"
+	"randfill/internal/nomo"
+	"randfill/internal/plcache"
+	"randfill/internal/prefetch"
+	"randfill/internal/rng"
+	"randfill/internal/rpcache"
+)
+
+// Indirection points so config.go does not import the concrete secure-cache
+// packages directly (keeps the build graph one-way: sim depends on the
+// cache architectures, never the reverse).
+func newcacheBuild(size, extraBits int, src *rng.Source) cache.Cache {
+	return newcache.New(size, extraBits, src)
+}
+
+func plcacheBuild(geom cache.Geometry) cache.Cache {
+	return plcache.New(geom)
+}
+
+func rpcacheBuild(geom cache.Geometry, src *rng.Source) cache.Cache {
+	return rpcache.New(geom, src)
+}
+
+func nomoBuild(geom cache.Geometry, threads, reserved int) cache.Cache {
+	return nomo.New(geom, threads, reserved)
+}
+
+// Machine is one simulated core (possibly SMT) with a private L1 data
+// cache, a unified L2, and a DRAM latency model. Threads are created with
+// NewThread and share the L1 and L2.
+type Machine struct {
+	cfg     Config
+	root    *rng.Source
+	l1      cache.Cache
+	l2      *cache.SetAssoc
+	threads []*Thread
+
+	// Prefetcher, if set, observes L1 demand traffic and injects
+	// prefetch fills (Section VII's tagged-prefetcher comparison).
+	Prefetcher prefetch.Prefetcher
+
+	// l2gen, when non-nil, applies random fill at the L2 (Config.L2Window).
+	l2gen *rng.WindowGenerator
+
+	// Traffic counters, shared across threads.
+	l2Accesses  uint64 // requests arriving at L2 (demand + random fill + prefetch)
+	l2Misses    uint64 // of those, L2 misses (= memory accesses)
+	memAccesses uint64
+	writebacks  uint64 // dirty L1 victims written back to the L2
+}
+
+// New builds a machine from cfg (zero fields take Table IV defaults).
+func New(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	root := rng.New(cfg.Seed)
+	m := &Machine{
+		cfg:  cfg,
+		root: root,
+		l1:   cfg.buildL1(root.Split(1)),
+		l2:   cache.NewSetAssoc(cfg.L2, cache.LRU{}),
+	}
+	if !cfg.L2Window.Zero() {
+		m.l2gen = rng.NewWindowGenerator(root.Split(2))
+		m.l2gen.SetWindow(cfg.L2Window)
+	}
+	return m
+}
+
+// Config returns the machine's (defaulted) configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// L1 returns the L1 data cache.
+func (m *Machine) L1() cache.Cache { return m.l1 }
+
+// L2 returns the unified L2 cache.
+func (m *Machine) L2() *cache.SetAssoc { return m.l2 }
+
+// L2Accesses returns the number of requests that reached the L2.
+func (m *Machine) L2Accesses() uint64 { return m.l2Accesses }
+
+// MemAccesses returns the number of requests that reached memory.
+func (m *Machine) MemAccesses() uint64 { return m.memAccesses }
+
+// Writebacks returns the number of dirty L1 victims written back to the L2.
+func (m *Machine) Writebacks() uint64 { return m.writebacks }
+
+// fillL1 installs a line in the L1 on behalf of a thread and handles the
+// write-back of a dirty victim: the victim's data is written into the L2
+// (allocating there if needed — our L2 is inclusive of nothing, so a
+// write-back can miss). Write-back traffic does not stall the processor
+// (write buffers), but it is counted.
+func (m *Machine) fillL1(line mem.Line, opts cache.FillOpts) {
+	v := m.l1.Fill(line, opts)
+	if v.Valid && v.Dirty {
+		m.writebacks++
+		if !m.l2.Lookup(v.Line, true) {
+			m.l2.Fill(v.Line, cache.FillOpts{Dirty: true})
+		}
+	}
+}
+
+// accessL2 performs the L2 side of an L1 miss (or background fill): looks
+// up the L2, fills it on a miss (the L2 always demand-fills), and returns
+// the additional latency beyond the L1 hit path.
+func (m *Machine) accessL2(line mem.Line, write bool) uint64 {
+	m.l2Accesses++
+	if m.l2.Lookup(line, write) {
+		return m.cfg.L2HitLat
+	}
+	m.l2Misses++
+	m.memAccesses++
+	if m.l2gen == nil {
+		m.l2.Fill(line, cache.FillOpts{Dirty: write})
+	} else {
+		// L2 random fill: forward the line upward uncached and install
+		// a random neighbor instead (dropped if present).
+		off := m.l2gen.Offset()
+		if off >= 0 || uint64(-off) <= uint64(line) {
+			j := mem.Line(int64(line) + int64(off))
+			if !m.l2.Probe(j) {
+				m.memAccesses++
+				m.l2.Fill(j, cache.FillOpts{})
+			}
+		}
+	}
+	return m.cfg.L2HitLat + m.cfg.MemLat
+}
+
+// NewThread creates a hardware thread with the given fill policy. For
+// ModePreload the thread's SecretRegions are preloaded and locked in the
+// PLcache immediately (and the preload traffic is charged to the thread as
+// start-up cycles).
+func (m *Machine) NewThread(tc ThreadConfig) *Thread {
+	t := &Thread{
+		machine: m,
+		cfg:     tc,
+		engine:  nil,
+		mshr:    make([]mshrEntry, m.cfg.MissQueue),
+	}
+	t.engine = coreEngine(m.l1, m.root.Split(uint64(100+len(m.threads))))
+	t.engine.SetOwner(tc.Owner)
+	t.engine.SetDropOnHit(!tc.KeepRedundantFills)
+	if dc, ok := m.l1.(domainCache); ok {
+		t.domainL1 = dc
+	}
+	if tc.Mode == ModeRandomFill {
+		t.engine.SetRR(tc.Window.A, tc.Window.B)
+	}
+	if tc.Mode == ModePreload {
+		pl, ok := m.l1.(*plcache.PLcache)
+		if !ok {
+			panic("sim: ModePreload requires L1Kind == KindPLcache")
+		}
+		for _, r := range tc.SecretRegions {
+			for _, l := range r.Lines() {
+				// Preload traffic goes through the L2 like any
+				// other fill and costs the thread time up front.
+				t.cycle += float64(m.accessL2(l, false))
+				pl.Fill(l, cache.FillOpts{Lock: true, Owner: tc.Owner})
+			}
+		}
+	}
+	m.threads = append(m.threads, t)
+	return t
+}
+
+// RunTrace is the single-thread convenience: create a demand-fetch or
+// configured thread, run the trace to completion, and return its result.
+func (m *Machine) RunTrace(tc ThreadConfig, trace mem.Trace) Result {
+	t := m.NewThread(tc)
+	for i := range trace {
+		t.Step(trace[i])
+	}
+	t.Drain()
+	return t.Result()
+}
+
+// RunTraceSteady measures steady-state behaviour: the trace runs once to
+// warm the caches, then runs again; the returned result covers only the
+// measured second pass.
+func (m *Machine) RunTraceSteady(tc ThreadConfig, trace mem.Trace) Result {
+	t := m.NewThread(tc)
+	t.Run(trace)
+	warm := t.Result()
+	t.Run(trace)
+	return t.Result().Sub(warm)
+}
+
+// smtPass interleaves the two threads until the main thread has executed
+// its whole trace once; the background thread loops over its trace,
+// resuming from index bi, which is returned for the next pass.
+func (m *Machine) smtPass(main, bg *Thread, mainTrace, bgTrace mem.Trace, bi int) int {
+	mi := 0
+	for mi < len(mainTrace) {
+		// Advance whichever thread is behind in simulated time, so
+		// the interleaving of shared-cache updates tracks the two
+		// threads' relative progress.
+		if bg.cycle <= main.cycle && len(bgTrace) > 0 {
+			bg.Step(bgTrace[bi])
+			bi++
+			if bi == len(bgTrace) {
+				bi = 0
+			}
+			continue
+		}
+		main.Step(mainTrace[mi])
+		mi++
+	}
+	main.Drain()
+	return bi
+}
+
+// RunSMT co-runs two threads: the main thread executes its trace once; the
+// background thread loops over its trace until the main thread finishes
+// (the paper's Figure 8 setup, where AES enc+dec runs continuously next to
+// a SPEC workload). It returns the main thread's result.
+func (m *Machine) RunSMT(mainCfg ThreadConfig, mainTrace mem.Trace, bgCfg ThreadConfig, bgTrace mem.Trace) Result {
+	main := m.NewThread(mainCfg)
+	bg := m.NewThread(bgCfg)
+	m.smtPass(main, bg, mainTrace, bgTrace, 0)
+	return main.Result()
+}
+
+// RunSMTSteady is RunSMT with a warm-up pass: the main trace runs once
+// unmeasured (the background thread co-running throughout), then the
+// measured pass runs; the result covers only the measured pass.
+func (m *Machine) RunSMTSteady(mainCfg ThreadConfig, mainTrace mem.Trace, bgCfg ThreadConfig, bgTrace mem.Trace) Result {
+	main := m.NewThread(mainCfg)
+	bg := m.NewThread(bgCfg)
+	bi := m.smtPass(main, bg, mainTrace, bgTrace, 0)
+	warm := main.Result()
+	m.smtPass(main, bg, mainTrace, bgTrace, bi)
+	return main.Result().Sub(warm)
+}

@@ -1,0 +1,432 @@
+package sim
+
+import (
+	"randfill/internal/cache"
+	"randfill/internal/core"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+func coreEngine(c cache.Cache, src *rng.Source) *core.Engine {
+	return core.NewEngine(c, src)
+}
+
+// mshrEntry is one miss-queue slot: an outstanding request to the L2/DRAM.
+type mshrEntry struct {
+	valid bool
+	line  mem.Line
+	done  float64
+	// fillL1 applies the line to the L1 on completion (normal demand
+	// fill, random fill, prefetch). NoFill demand entries have it false.
+	fillL1 bool
+	// background marks random-fill/prefetch entries, which produce no
+	// data for the processor: dependent accesses do not wait on them.
+	background bool
+	dirty      bool
+	offset     int8
+	prefetch   bool
+}
+
+// Result summarizes a thread's execution.
+type Result struct {
+	Cycles       float64
+	Instructions uint64
+	// Hits and Misses are demand L1 accesses; Merged are demand misses
+	// that merged with an outstanding miss to the same line (excluded
+	// from MPKI, per the paper's MPKI definition in Section VII).
+	Hits   uint64
+	Misses uint64
+	Merged uint64
+	// SecretBypass counts accesses that bypassed the L1 entirely
+	// (ModeDisableSecret).
+	SecretBypass uint64
+	// RandomFills and Prefetches count background fills applied to L1.
+	RandomFills uint64
+	Prefetches  uint64
+	// StallCycles accumulates time spent waiting for a free miss-queue
+	// entry or for dependence resolution.
+	StallCycles float64
+	// InformingTraps counts informing-load handler invocations.
+	InformingTraps uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / r.Cycles
+}
+
+// MPKI returns demand L1 misses (merges excluded) per kilo-instruction.
+func (r Result) MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(r.Misses) / float64(r.Instructions)
+}
+
+// Sub returns the difference r - prev of two snapshots of the same
+// thread's counters, for steady-state measurement: warm the caches with one
+// pass, snapshot, run the measured pass, and subtract.
+func (r Result) Sub(prev Result) Result {
+	return Result{
+		Cycles:         r.Cycles - prev.Cycles,
+		Instructions:   r.Instructions - prev.Instructions,
+		Hits:           r.Hits - prev.Hits,
+		Misses:         r.Misses - prev.Misses,
+		Merged:         r.Merged - prev.Merged,
+		SecretBypass:   r.SecretBypass - prev.SecretBypass,
+		RandomFills:    r.RandomFills - prev.RandomFills,
+		Prefetches:     r.Prefetches - prev.Prefetches,
+		StallCycles:    r.StallCycles - prev.StallCycles,
+		InformingTraps: r.InformingTraps - prev.InformingTraps,
+	}
+}
+
+// HitRate returns demand hit rate over demand accesses.
+func (r Result) HitRate() float64 {
+	total := r.Hits + r.Misses + r.Merged
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// informingTrapCycles is the exception-delivery overhead of one informing
+// load trap (pipeline flush + handler entry/exit).
+const informingTrapCycles = 50
+
+// domainCache is implemented by caches whose behaviour depends on the
+// accessing trust domain (RPcache's per-domain permutation tables).
+type domainCache interface {
+	SetActiveDomain(int)
+}
+
+// Thread is one hardware thread: a fill-policy engine over the shared L1,
+// a private miss queue, and a cycle clock.
+type Thread struct {
+	machine *Machine
+	cfg     ThreadConfig
+	engine  *core.Engine
+	// domainL1 is non-nil when the L1 is domain-aware; the thread
+	// selects its trust domain before every access (part of switching
+	// the hardware thread context).
+	domainL1 domainCache
+	cycle    float64
+	// dataReady is when the most recent demand read's data becomes
+	// available; a Dependent access cannot issue before it.
+	dataReady float64
+	mshr      []mshrEntry
+	// fillQueue holds random-fill/prefetch requests waiting for a free
+	// miss-queue slot (the "random fill queue" of Figure 3, which waits
+	// for idle cycles).
+	fillQueue []core.Request
+	res       Result
+}
+
+// Engine returns the thread's random fill engine (to reprogram the window
+// mid-run, modelling the set_RR system call).
+func (t *Thread) Engine() *core.Engine { return t.engine }
+
+// Cycle returns the thread's current cycle.
+func (t *Thread) Cycle() float64 { return t.cycle }
+
+// Result returns the thread's statistics with the clock snapshot.
+func (t *Thread) Result() Result {
+	r := t.res
+	r.Cycles = t.cycle
+	return r
+}
+
+// retire completes every miss-queue entry finished by time now, applying
+// its L1 fill.
+func (t *Thread) retire(now float64) {
+	for i := range t.mshr {
+		e := &t.mshr[i]
+		if !e.valid || e.done > now {
+			continue
+		}
+		if e.fillL1 {
+			t.machine.fillL1(e.line, cache.FillOpts{
+				Dirty:  e.dirty,
+				Owner:  t.cfg.Owner,
+				Offset: e.offset,
+			})
+			if e.background {
+				if e.prefetch {
+					t.res.Prefetches++
+				} else {
+					t.res.RandomFills++
+				}
+			}
+			if p := t.machine.Prefetcher; p != nil {
+				p.OnFill(e.line, e.prefetch)
+			}
+		}
+		e.valid = false
+	}
+}
+
+// waitData blocks the thread until the most recent demand read's data is
+// available: the model of a load-to-use dependence. An out-of-order core
+// overlaps independent misses freely; a Dependent access serializes behind
+// exactly the previous load, not the whole miss queue.
+func (t *Thread) waitData() {
+	if t.dataReady > t.cycle {
+		t.res.StallCycles += t.dataReady - t.cycle
+		t.cycle = t.dataReady
+	}
+	t.retire(t.cycle)
+}
+
+// freeSlot returns a free miss-queue slot index for a demand request,
+// stalling the thread until the earliest outstanding entry completes if the
+// queue is full. Arbitration is FIFO: background fill requests that arrived
+// in the fill queue before this demand miss are issued into freed slots
+// first — fills and demands share the miss queue in arrival order rather
+// than demands always winning (which would starve the random fill engine
+// whenever the miss queue is saturated).
+func (t *Thread) freeSlot() int {
+	for {
+		t.serviceFills()
+		for i := range t.mshr {
+			if !t.mshr[i].valid {
+				return i
+			}
+		}
+		// Queue full: wait for the earliest completion.
+		min := t.mshr[0].done
+		for i := 1; i < len(t.mshr); i++ {
+			if t.mshr[i].done < min {
+				min = t.mshr[i].done
+			}
+		}
+		t.res.StallCycles += min - t.cycle
+		t.cycle = min
+		t.retire(t.cycle)
+	}
+}
+
+// trySlot returns a free slot without stalling, or -1.
+func (t *Thread) trySlot() int {
+	for i := range t.mshr {
+		if !t.mshr[i].valid {
+			return i
+		}
+	}
+	return -1
+}
+
+// pending reports whether line has an outstanding miss-queue entry, and its
+// index.
+func (t *Thread) pending(line mem.Line) int {
+	for i := range t.mshr {
+		if t.mshr[i].valid && t.mshr[i].line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// enqueueFill adds a background fill request to the fill queue, dropping it
+// if the queue is full (the queue depth comes from Config.FillQueueCap).
+func (t *Thread) enqueueFill(r core.Request) {
+	if len(t.fillQueue) >= t.machine.cfg.FillQueueCap {
+		return
+	}
+	t.fillQueue = append(t.fillQueue, r)
+}
+
+// serviceFills issues queued background fills into free miss-queue slots.
+// One slot is reserved for demand misses: background fills never occupy the
+// whole miss queue, so a demand miss waits behind at most MissQueue-1
+// fills (standard MSHR reservation for demand traffic).
+func (t *Thread) serviceFills() {
+	for len(t.fillQueue) > 0 {
+		if len(t.mshr) > 1 {
+			bg := 0
+			for i := range t.mshr {
+				if t.mshr[i].valid && t.mshr[i].background {
+					bg++
+				}
+			}
+			if bg >= len(t.mshr)-1 {
+				return
+			}
+		}
+		slot := t.trySlot()
+		if slot < 0 {
+			return
+		}
+		r := t.fillQueue[0]
+		t.fillQueue = t.fillQueue[1:]
+		// Dropped if it hits in the tag array by now, or is already in
+		// flight. (The tag check is skipped under the ablation that
+		// keeps redundant fills.)
+		if !t.cfg.KeepRedundantFills && t.engine.Cache().Probe(r.Line) {
+			continue
+		}
+		if t.pending(r.Line) >= 0 {
+			continue
+		}
+		lat := t.machine.accessL2(r.Line, false)
+		t.mshr[slot] = mshrEntry{
+			valid:      true,
+			line:       r.Line,
+			done:       t.cycle + float64(lat),
+			fillL1:     true,
+			background: true,
+			offset:     r.Offset,
+			prefetch:   r.Type == prefetchRequest,
+		}
+	}
+}
+
+// prefetchRequest is a core.RequestType value reserved for prefetcher
+// requests travelling through the same fill queue.
+const prefetchRequest core.RequestType = 255
+
+// Step executes one trace access and advances the thread's clock.
+func (t *Thread) Step(a mem.Access) {
+	if t.domainL1 != nil {
+		t.domainL1.SetActiveDomain(t.cfg.Owner)
+	}
+	instr := a.Instructions()
+	t.res.Instructions += instr
+	t.cycle += float64(instr) / float64(t.machine.cfg.IssueWidth)
+	t.retire(t.cycle)
+
+	if a.Dependent {
+		t.waitData()
+	}
+
+	line := a.Line()
+	write := a.Kind == mem.Write
+
+	if t.cfg.Mode == ModeDisableSecret && a.Secret {
+		// Security-critical access with the cache disabled: straight
+		// to the L2, no L1 lookup or fill. The request still needs a
+		// miss-queue entry (it is a demand fetch).
+		t.res.SecretBypass++
+		slot := t.freeSlot()
+		lat := t.machine.accessL2(line, write)
+		t.mshr[slot] = mshrEntry{
+			valid: true,
+			line:  line,
+			done:  t.cycle + float64(lat),
+		}
+		if !write {
+			t.dataReady = t.mshr[slot].done
+		}
+		t.serviceFills()
+		return
+	}
+
+	informing := t.cfg.Mode == ModeInforming && a.Secret
+
+	if t.engine.Cache().Lookup(line, write) {
+		t.res.Hits++
+		if !write {
+			t.dataReady = t.cycle + float64(t.machine.cfg.L1HitLat)
+		}
+		if p := t.machine.Prefetcher; p != nil {
+			for _, pl := range p.OnHit(line) {
+				t.enqueueFill(core.Request{Type: prefetchRequest, Line: pl, Offset: 1})
+			}
+		}
+		t.serviceFills()
+		return
+	}
+
+	// Demand miss. A miss to a line already in flight merges with the
+	// outstanding entry (no new request, excluded from MPKI).
+	if p := t.pending(line); p >= 0 {
+		t.res.Merged++
+		if !write && t.mshr[p].done > t.dataReady {
+			t.dataReady = t.mshr[p].done
+		}
+		t.serviceFills()
+		return
+	}
+
+	t.res.Misses++
+	if informing {
+		// Informing load: the miss traps to the user-level handler,
+		// which reloads the whole security-critical data set before
+		// execution resumes. The trap overhead plus the reload misses
+		// are fully exposed (the handler runs in program order).
+		t.cycle += informingTrapCycles
+		for _, reg := range t.cfg.SecretRegions {
+			for _, l := range reg.Lines() {
+				if t.engine.Cache().Probe(l) {
+					continue
+				}
+				lat := t.machine.accessL2(l, false)
+				// Handler loads overlap pairwise at best.
+				t.cycle += float64(lat) / 2
+				t.machine.fillL1(l, cache.FillOpts{Owner: t.cfg.Owner})
+			}
+		}
+		t.res.InformingTraps++
+		// The faulting access now hits the freshly reloaded line.
+		t.engine.Cache().Lookup(line, write)
+		t.serviceFills()
+		return
+	}
+	for _, r := range t.engine.OnMiss(line) {
+		switch r.Type {
+		case core.Normal, core.NoFill:
+			slot := t.freeSlot()
+			lat := t.machine.accessL2(line, write)
+			t.mshr[slot] = mshrEntry{
+				valid:  true,
+				line:   line,
+				done:   t.cycle + float64(lat),
+				fillL1: r.Type == core.Normal,
+				dirty:  write,
+			}
+			if !write {
+				t.dataReady = t.mshr[slot].done
+			}
+		case core.RandomFill:
+			t.enqueueFill(r)
+		}
+	}
+	if p := t.machine.Prefetcher; p != nil {
+		for _, pl := range p.OnMiss(line) {
+			t.enqueueFill(core.Request{Type: prefetchRequest, Line: pl, Offset: 1})
+		}
+	}
+	t.serviceFills()
+}
+
+// Run executes an entire trace and returns the thread's result.
+func (t *Thread) Run(trace mem.Trace) Result {
+	for i := range trace {
+		t.Step(trace[i])
+	}
+	t.Drain()
+	return t.Result()
+}
+
+// Drain waits for all outstanding requests to complete and applies their
+// fills, advancing the clock to the last completion.
+func (t *Thread) Drain() {
+	maxDone := t.cycle
+	for i := range t.mshr {
+		if t.mshr[i].valid && t.mshr[i].done > maxDone {
+			maxDone = t.mshr[i].done
+		}
+	}
+	t.cycle = maxDone
+	t.retire(t.cycle)
+	// Issue any still-queued background fills and let them land too.
+	t.serviceFills()
+	for i := range t.mshr {
+		if t.mshr[i].valid && t.mshr[i].done > t.cycle {
+			t.cycle = t.mshr[i].done
+		}
+	}
+	t.retire(t.cycle)
+}

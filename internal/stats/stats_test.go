@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMeanVariance(t *testing.T) {
+	var r Running
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	if math.Abs(r.Variance()-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", r.Variance())
+	}
+	if math.Abs(r.StdDev()-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", r.StdDev())
+	}
+	if math.Abs(r.SampleVariance()-32.0/7) > 1e-12 {
+		t.Errorf("SampleVariance = %v, want %v", r.SampleVariance(), 32.0/7)
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 {
+		t.Error("empty Running must report zeros")
+	}
+	r.Add(3)
+	if r.Mean() != 3 || r.Variance() != 0 {
+		t.Errorf("single sample: mean %v var %v", r.Mean(), r.Variance())
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e10 {
+				return true // skip pathological inputs
+			}
+		}
+		var whole Running
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		k := 0
+		if len(xs) > 0 {
+			k = int(split) % (len(xs) + 1)
+		}
+		var a, b Running
+		for _, x := range xs[:k] {
+			a.Add(x)
+		}
+		for _, x := range xs[k:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		scale := 1 + math.Abs(whole.Mean())
+		return math.Abs(a.Mean()-whole.Mean()) < 1e-9*scale &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-6*(1+whole.Variance())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupedArgMin(t *testing.T) {
+	g := NewGrouped(256)
+	for k := 0; k < 256; k++ {
+		base := 100.0
+		if k == 160 {
+			base = 90 // the collision value has lower mean time
+		}
+		for i := 0; i < 10; i++ {
+			g.Add(k, base+float64(i%3))
+		}
+	}
+	if got := g.ArgMin(); got != 160 {
+		t.Errorf("ArgMin = %d, want 160", got)
+	}
+	if got := g.ArgMax(); got == 160 {
+		t.Error("ArgMax picked the minimum group")
+	}
+	if g.Count(160) != 10 {
+		t.Errorf("Count(160) = %d", g.Count(160))
+	}
+}
+
+func TestGroupedArgMinIgnoresEmpty(t *testing.T) {
+	g := NewGrouped(4)
+	g.Add(2, 5)
+	g.Add(3, 7)
+	if got := g.ArgMin(); got != 2 {
+		t.Errorf("ArgMin = %d, want 2", got)
+	}
+	empty := NewGrouped(4)
+	if got := empty.ArgMin(); got != -1 {
+		t.Errorf("ArgMin on empty = %d, want -1", got)
+	}
+}
+
+func TestGroupedGrandMean(t *testing.T) {
+	g := NewGrouped(2)
+	g.Add(0, 1)
+	g.Add(0, 3)
+	g.Add(1, 5)
+	if got := g.GrandMean(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("GrandMean = %v, want 3", got)
+	}
+	means := g.Means()
+	if means[0] != 2 || means[1] != 5 {
+		t.Errorf("Means = %v", means)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.99, 2.326348},
+		{0.9999, 3.719016},
+		{0.025, -1.959964},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	for _, p := range []float64{0.6, 0.9, 0.99, 0.999} {
+		if d := NormalQuantile(p) + NormalQuantile(1-p); math.Abs(d) > 1e-6 {
+			t.Errorf("quantile asymmetry at p=%v: %v", p, d)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) not NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}

@@ -1,0 +1,140 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+func TestMissThenHit(t *testing.T) {
+	tl := New(64, rng.New(1))
+	a := mem.Addr(0x5000)
+	if tl.Translate(a) {
+		t.Fatal("cold TLB hit")
+	}
+	if !tl.Translate(a) {
+		t.Fatal("miss after demand fill")
+	}
+	if !tl.Translate(a + PageSize - 1) {
+		t.Fatal("same-page address missed")
+	}
+	if tl.Translate(a + PageSize) {
+		t.Fatal("next page hit without translation")
+	}
+}
+
+func TestLRUCapacity(t *testing.T) {
+	tl := New(4, rng.New(2))
+	for p := 0; p < 4; p++ {
+		tl.Translate(mem.Addr(p * PageSize))
+	}
+	// Touch page 0 to protect it; a 5th page evicts the LRU (page 1).
+	tl.Translate(0)
+	tl.Translate(4 * PageSize)
+	if !tl.Cached(0) {
+		t.Error("MRU page evicted")
+	}
+	if tl.Cached(1 * PageSize) {
+		t.Error("LRU page survived")
+	}
+	if tl.Resident() != 4 {
+		t.Errorf("resident = %d", tl.Resident())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tl := New(8, rng.New(3))
+	tl.Translate(0x1000)
+	tl.Translate(0x2000)
+	if !tl.FlushPage(0x1000) || tl.Cached(0x1000) {
+		t.Error("invlpg failed")
+	}
+	tl.FlushAll()
+	if tl.Resident() != 0 {
+		t.Error("shootdown left translations")
+	}
+}
+
+func TestRandomFillDecorrelatesTranslations(t *testing.T) {
+	// The conclusion's claim applied to the TLB: with a window, a missed
+	// translation is not deterministically installed.
+	tl := New(64, rng.New(4))
+	tl.SetWindow(rng.Symmetric(16))
+	selfFilled := 0
+	const trials = 600
+	for i := 0; i < trials; i++ {
+		a := mem.Addr((1000 + i*64) * PageSize) // far apart pages
+		tl.Translate(a)
+		if tl.Cached(a) {
+			selfFilled++
+		}
+	}
+	frac := float64(selfFilled) / trials
+	if frac > 0.15 {
+		t.Errorf("demanded translation resident %.1f%% of the time, want ≈ 1/16", 100*frac)
+	}
+	if selfFilled == 0 {
+		t.Error("offset 0 never drawn")
+	}
+}
+
+// TestPageGranularLeakAndDefense mounts a flush+reload on the TLB: a victim
+// whose secret selects one page of a 16-page table leaks that page under
+// demand fill and does not under a covering window.
+func TestPageGranularLeakAndDefense(t *testing.T) {
+	const tableBase = mem.Addr(0x100000)
+	const pages = 16
+
+	observe := func(w rng.Window, trials int, seed uint64) float64 {
+		tl := New(64, rng.New(seed))
+		tl.SetWindow(w)
+		src := rng.New(seed + 1)
+		hits := 0
+		for trial := 0; trial < trials; trial++ {
+			tl.FlushAll()
+			secret := src.Intn(pages)
+			tl.Translate(tableBase + mem.Addr(secret*PageSize))
+			if tl.Cached(tableBase + mem.Addr(secret*PageSize)) {
+				hits++
+			}
+		}
+		return float64(hits) / float64(trials)
+	}
+
+	if acc := observe(rng.Window{}, 300, 1); acc != 1 {
+		t.Errorf("demand-fill TLB: secret page observed %.2f, want 1", acc)
+	}
+	if acc := observe(rng.Symmetric(32), 600, 2); acc > 0.12 {
+		t.Errorf("random-fill TLB: secret page observed %.2f, want ≈ 1/32", acc)
+	}
+}
+
+func TestCapacityInvariant(t *testing.T) {
+	f := func(pages []uint16) bool {
+		tl := New(16, rng.New(5))
+		for _, p := range pages {
+			tl.Translate(mem.Addr(p) * PageSize)
+		}
+		return tl.Resident() <= tl.Entries()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("entries=0 did not panic")
+		}
+	}()
+	New(0, rng.New(1))
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(PageSize-1) != 0 || PageOf(PageSize) != 1 {
+		t.Error("page boundaries wrong")
+	}
+}

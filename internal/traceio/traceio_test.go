@@ -1,0 +1,166 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"randfill/internal/mem"
+	"randfill/internal/workloads"
+)
+
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d records", len(got))
+	}
+}
+
+func TestRoundTripAllBenchmarks(t *testing.T) {
+	for _, g := range workloads.All() {
+		tr := g.Gen(5000, 1)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if len(got) != len(tr) {
+			t.Fatalf("%s: %d records, want %d", g.Name, len(got), len(tr))
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				t.Fatalf("%s: record %d = %+v, want %+v", g.Name, i, got[i], tr[i])
+			}
+		}
+		// Delta compression should beat 6 bytes/record on these traces.
+		if perRec := float64(buf.Len()) / float64(len(tr)); perRec > 6 {
+			t.Errorf("%s: %.1f bytes/record, compression ineffective", g.Name, perRec)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(addrs []uint32, flags []uint8) bool {
+		tr := make(mem.Trace, len(addrs))
+		for i, a := range addrs {
+			fl := byte(0)
+			if i < len(flags) {
+				fl = flags[i]
+			}
+			tr[i] = mem.Access{
+				Addr:      mem.Addr(a),
+				NonMem:    uint32(fl >> 4),
+				Dependent: fl&1 != 0,
+				Secret:    fl&2 != 0,
+			}
+			if fl&4 != 0 {
+				tr[i].Kind = mem.Write
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOTATRACE")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	tr := mem.Trace{{Addr: 1}, {Addr: 2}, {Addr: 3}}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := len(raw) - 1; cut > 8; cut -= 2 {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDumpText(t *testing.T) {
+	tr := mem.Trace{
+		{Addr: 0x1000, NonMem: 3},
+		{Addr: 0x2000, Kind: mem.Write, Dependent: true, Secret: true},
+	}
+	var buf bytes.Buffer
+	if err := DumpText(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"R 0x00001000", "W 0x00002000", "dep", "secret", "nonmem=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := DumpText(&buf, tr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 1 {
+		t.Error("limit not honored")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := mem.Trace{
+		{Addr: 0x1000, NonMem: 2},
+		{Addr: 0x1008, Kind: mem.Write},
+		{Addr: 0x2000, Dependent: true, Secret: true},
+	}
+	s := Summarize(tr)
+	if s.Accesses != 3 || s.Reads != 2 || s.Writes != 1 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.Instructions != 5 {
+		t.Errorf("instructions = %d", s.Instructions)
+	}
+	if s.Dependent != 1 || s.Secret != 1 {
+		t.Errorf("flags: %+v", s)
+	}
+	if s.Footprint != 2 {
+		t.Errorf("footprint = %d", s.Footprint)
+	}
+	if s.MinAddr != 0x1000 || s.MaxAddr != 0x2000 {
+		t.Errorf("range: %+v", s)
+	}
+	if !strings.Contains(s.String(), "footprint: 2 lines") {
+		t.Error("String() missing footprint")
+	}
+	if empty := Summarize(nil); empty.Accesses != 0 {
+		t.Error("empty summary wrong")
+	}
+}

@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"randfill/internal/cache"
+	"randfill/internal/core"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+// Profile holds the spatial-locality sampling of Figure 9: for each fill
+// offset d (distance in lines between a randomly filled line and the demand
+// miss that triggered it), how many lines were fetched and how many of
+// those were referenced before being evicted.
+type Profile struct {
+	Referenced map[int]uint64
+	Fetched    map[int]uint64
+}
+
+// Eff returns the reference ratio Eff(d) = N_referenced(d) / N_fetched(d)
+// (Equation 9), or 0 if no fills with offset d were observed.
+func (p Profile) Eff(d int) float64 {
+	f := p.Fetched[d]
+	if f == 0 {
+		return 0
+	}
+	return float64(p.Referenced[d]) / float64(f)
+}
+
+// Offsets returns the sampled offset range [-maxD, +maxD] that has data.
+func (p Profile) Offsets() []int {
+	var out []int
+	for d := range p.Fetched {
+		out = append(out, d)
+	}
+	return out
+}
+
+// WideForward reports whether the profile shows useful spatial locality
+// well beyond the next line in the forward direction: the mean Eff over
+// d in [2, 8] compared against a threshold.
+func (p Profile) WideForward(threshold float64) bool {
+	var sum float64
+	n := 0
+	for d := 2; d <= 8; d++ {
+		if p.Fetched[d] > 0 {
+			sum += p.Eff(d)
+			n++
+		}
+	}
+	return n > 0 && sum/float64(n) >= threshold
+}
+
+// SpatialProfile runs the trace through a random-fill cache of the given
+// geometry with a symmetric window of ±maxD lines, tagging every fill with
+// its offset and accounting referenced-before-evicted ratios per offset —
+// the profiling methodology of Section VII / Figure 9. Lines still resident
+// at the end of the run are drained into the counts.
+func SpatialProfile(trace mem.Trace, geom cache.Geometry, maxD int, seed uint64) Profile {
+	p := Profile{
+		Referenced: make(map[int]uint64),
+		Fetched:    make(map[int]uint64),
+	}
+	c := cache.NewSetAssoc(geom, cache.LRU{})
+	c.SetEvictionObserver(func(v cache.Victim) {
+		d := int(v.Offset)
+		p.Fetched[d]++
+		if v.Referenced {
+			p.Referenced[d]++
+		}
+	})
+	eng := core.NewEngine(c, rng.New(seed))
+	eng.SetRR(maxD, maxD)
+	for _, a := range trace {
+		eng.Access(a.Line(), a.Kind == mem.Write)
+	}
+	c.DrainValid()
+	return p
+}

@@ -2,15 +2,24 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench experiments fuzz clean
+.PHONY: all build test test-short vet lint ci bench experiments fuzz clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Domain-aware static analysis: determinism, RNG hygiene, and simulator
+# invariants (see DESIGN.md "Determinism & lint policy").
+lint: vet
+	$(GO) run ./cmd/rflint ./...
+
+# What CI runs (.github/workflows/ci.yml).
+ci: build lint
+	$(GO) test -race -short ./...
 
 test:
 	$(GO) test ./...

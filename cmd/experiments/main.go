@@ -68,8 +68,10 @@ func main() {
 	}
 
 	for _, e := range todo {
+		//lint:ignore detrand wall-clock progress display only; never feeds simulator or experiment state
 		start := time.Now()
 		fmt.Println(e.Run(sc))
+		//lint:ignore detrand wall-clock progress display only; never feeds simulator or experiment state
 		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
 }

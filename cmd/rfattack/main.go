@@ -14,8 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/big"
-	mathrand "math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -150,7 +150,7 @@ func runModexpSpy(w rng.Window, l1kind string, seed uint64) {
 	if err != nil {
 		fatal(err)
 	}
-	secret := new(big.Int).Rand(mathrandNew(seed), mod)
+	secret := randBigInt(rng.New(seed).Split(0x5ec7e7), mod)
 	res := modexp.Spy(e, secret, modexp.DefaultLayout(), mkCache(l1kind), w, seed)
 	fmt.Printf("percival spy vs %s, victim window %v\n", l1kind, w)
 	fmt.Printf("secret exponent:    %X\n", secret)
@@ -161,9 +161,27 @@ func runModexpSpy(w rng.Window, l1kind string, seed uint64) {
 	}
 }
 
-// mathrandNew adapts our deterministic source to math/rand for big.Int.Rand.
-func mathrandNew(seed uint64) *mathrand.Rand {
-	return mathrand.New(mathrand.NewSource(int64(seed)))
+// randBigInt returns a uniform value in [0, max) drawn from the seeded
+// source through its io.Reader face, by rejection sampling on max.BitLen()
+// bits. This keeps the attack CLI bit-reproducible from -seed, where the
+// old math/rand adapter tied the secret to a second, unseeded-looking
+// stream.
+func randBigInt(src *rng.Source, max *big.Int) *big.Int {
+	bits := max.BitLen()
+	if bits == 0 {
+		return new(big.Int)
+	}
+	buf := make([]byte, (bits+7)/8)
+	mask := byte(0xff >> (8*len(buf) - bits))
+	for {
+		if _, err := io.ReadFull(src, buf); err != nil {
+			fatal(err) // unreachable: Source.Read never fails
+		}
+		buf[0] &= mask
+		if v := new(big.Int).SetBytes(buf); v.Cmp(max) < 0 {
+			return v
+		}
+	}
 }
 
 func parseWindow(s string) (rng.Window, error) {

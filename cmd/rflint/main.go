@@ -1,0 +1,145 @@
+// Command rflint runs the repository's domain-aware static analysis: the
+// determinism, RNG-hygiene, and simulator-invariant checkers in
+// internal/analysis/checkers. See DESIGN.md ("Determinism & lint policy").
+//
+// Usage:
+//
+//	rflint [flags] [./...|dir]
+//
+// With no argument (or "./..."), the whole module containing the current
+// directory is analyzed, tests included. A directory argument restricts
+// reporting to the packages under that directory (the rest of the module is
+// still loaded so cross-package types resolve). Findings can be suppressed
+// inline with "//lint:ignore <checker> <reason>" on the offending line or
+// the line above.
+//
+// Flags:
+//
+//	-json              emit diagnostics as a JSON array
+//	-checkers a,b,...  run only the named checkers (default: all)
+//	-fail-on  sev      exit nonzero at this severity: warning|error|never
+//	-tests=false       skip _test.go files
+//	-list              print the available checkers and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"randfill/internal/analysis"
+	"randfill/internal/analysis/checkers"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	checkerList := flag.String("checkers", "", "comma-separated checkers to run (default all)")
+	failOn := flag.String("fail-on", "warning", "exit nonzero at this severity: warning, error, or never")
+	tests := flag.Bool("tests", true, "include _test.go files")
+	list := flag.Bool("list", false, "list available checkers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, az := range checkers.All() {
+			fmt.Printf("%-12s %s\n", az.Name(), az.Doc())
+		}
+		return
+	}
+
+	switch *failOn {
+	case "warning", "error", "never":
+	default:
+		fatal(fmt.Errorf("bad -fail-on %q (want warning, error, or never)", *failOn))
+	}
+
+	azs := checkers.All()
+	if *checkerList != "" {
+		var err error
+		azs, err = checkers.ByName(*checkerList)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	dir := "."
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		if arg := flag.Arg(0); arg != "./..." {
+			dir = arg
+		}
+	default:
+		fatal(fmt.Errorf("at most one package argument, got %d", flag.NArg()))
+	}
+
+	fset, pkgs, err := analysis.Load(analysis.LoadConfig{Dir: dir, Tests: *tests})
+	if err != nil {
+		fatal(err)
+	}
+	if dir != "." {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			fatal(err)
+		}
+		var kept []*analysis.Package
+		for _, pkg := range pkgs {
+			if pkg.Dir == abs || strings.HasPrefix(pkg.Dir, abs+string(filepath.Separator)) {
+				kept = append(kept, pkg)
+			}
+		}
+		pkgs = kept
+	}
+	if len(pkgs) == 0 {
+		// testdata/vendor/hidden dirs are skipped; "clean" would be a lie here.
+		fatal(fmt.Errorf("no Go packages found under %s", dir))
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "rflint: %s: type error (analysis degraded): %v\n", pkg.Path, terr)
+		}
+	}
+
+	diags, err := analysis.Run(fset, pkgs, azs)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) == 0 {
+			fmt.Println("rflint: clean")
+		}
+	}
+
+	if *failOn == "never" {
+		return
+	}
+	threshold, err := analysis.ParseSeverity(*failOn)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		if d.Severity >= threshold {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rflint:", err)
+	os.Exit(1)
+}

@@ -81,7 +81,9 @@ func main() {
 			fatal(err)
 		}
 		trace, err = traceio.Read(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -64,12 +64,16 @@ func cmdGen(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	if err := traceio.Write(f, trace); err != nil {
 		fatal(err)
 	}
 	st, err := f.Stat()
 	if err != nil {
+		fatal(err)
+	}
+	// Close before reporting success: the close flushes the final data, so
+	// a full disk or I/O error here means the trace is truncated.
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d accesses (%d bytes, %.2f bytes/access) to %s\n",
@@ -101,8 +105,10 @@ func load(fs *flag.FlagSet) mem.Trace {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	trace, err := traceio.Read(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,91 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"randfill/internal/analysis"
+)
+
+// ctindex flags array/slice indexing whose index expression is derived
+// from a secret-looking parameter (secret, key, priv, exponent,
+// plaintext). Secret-dependent table lookups are exactly the leak this
+// repository studies — so they are only allowed in the packages that
+// intentionally model leaky victims. Everywhere else (attack harnesses,
+// experiment drivers, statistics) an index named after a secret is either
+// a mislabelled variable or an accidental new victim, and both deserve a
+// look.
+type ctindex struct{}
+
+func (ctindex) Name() string { return "ctindex" }
+
+func (ctindex) Doc() string {
+	return "flags secret-derived array indexing outside the designated victim packages (internal/aes, internal/blowfish, internal/modexp)"
+}
+
+// ctindexVictims are the packages that model leaky table lookups on
+// purpose; the paper's attacks need them to leak.
+var ctindexVictims = []string{
+	"internal/aes",
+	"internal/blowfish",
+	"internal/modexp",
+}
+
+var secretName = regexp.MustCompile(`(?i)^(secret|key|priv|exponent|plaintext)`)
+
+func (ctindex) Run(pass *analysis.Pass) error {
+	for _, suffix := range ctindexVictims {
+		if pathHasSuffix(pass.Pkg.Path, suffix) {
+			return nil
+		}
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			idx, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(idx.X)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Array, *types.Slice:
+			case *types.Pointer:
+				ptr := t.Underlying().(*types.Pointer)
+				if _, isArr := ptr.Elem().Underlying().(*types.Array); !isArr {
+					return true
+				}
+			default:
+				return true
+			}
+			if id := secretIdent(idx.Index); id != nil {
+				pass.Reportf(idx.Index.Pos(), analysis.SeverityWarning,
+					"index derived from %q addresses memory with a secret-looking value; only the designated victim packages (%s) may model leaky lookups — rename the variable or move the model", id.Name, "internal/aes, internal/blowfish, internal/modexp")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// secretIdent returns the first identifier inside expr whose name looks
+// like a secret, ignoring identifiers that are function names of calls
+// (hashKey(i) indexes by a hash, not by the key itself... but the hash of
+// a secret is still flagged via its arguments).
+func secretIdent(expr ast.Expr) *ast.Ident {
+	var found *ast.Ident
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && secretName.MatchString(id.Name) {
+			found = id
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,91 @@
+package checkers
+
+import (
+	"go/ast"
+	"strconv"
+
+	"randfill/internal/analysis"
+)
+
+// detrand enforces the repository's determinism contract: every stochastic
+// choice and every timestamp that can influence simulator state must come
+// from the seeded internal/rng streams. Peters et al. and Chakraborty et
+// al. both show that RNG plumbing details silently change the security
+// conclusions of randomized-cache evaluations; an unseeded math/rand or a
+// wall-clock read makes the paper's tables unreproducible.
+type detrand struct{}
+
+// bannedImports may not be imported anywhere in the module outside the
+// allowlist: math/rand draws from an ambient, possibly unseeded stream,
+// and crypto/rand is nondeterministic by design.
+var bannedImports = map[string]string{
+	"math/rand":    "ambient PRNG; draw from a seeded internal/rng stream instead",
+	"math/rand/v2": "ambient PRNG; draw from a seeded internal/rng stream instead",
+	"crypto/rand":  "nondeterministic by design; draw from a seeded internal/rng stream instead",
+}
+
+// bannedTimeFuncs are time-package entry points that read the wall clock
+// or real timers. Simulated time lives in internal/sim's cycle counters.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Tick":  true,
+	"After": true,
+}
+
+// detrandAllowlist names package-path suffixes exempt from the rule.
+// It is intentionally empty: internal/rng itself uses no banned imports,
+// and individual justified exceptions (e.g. wall-clock progress reporting
+// in a CLI) must carry an inline //lint:ignore with a reason instead of a
+// blanket exemption.
+var detrandAllowlist = []string{}
+
+func (detrand) Name() string { return "detrand" }
+
+func (detrand) Doc() string {
+	return "forbids math/rand, crypto/rand, and wall-clock time reads; all randomness must flow through seeded internal/rng streams"
+}
+
+func (detrand) Run(pass *analysis.Pass) error {
+	for _, suffix := range detrandAllowlist {
+		if pathHasSuffix(pass.Pkg.Path, suffix) {
+			return nil
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, banned := bannedImports[path]; banned {
+				pass.Reportf(imp.Pos(), analysis.SeverityError,
+					"import of %s breaks reproducibility: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !bannedTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg := pkgNameOf(pass.Pkg.Info, id)
+			// Fall back to the syntactic package name when type info is
+			// incomplete, so a broken build still lints.
+			if pkg != nil && pkg.Path() == "time" || pkg == nil && id.Name == "time" {
+				pass.Reportf(call.Pos(), analysis.SeverityError,
+					"time.%s reads the wall clock and breaks reproducibility; model time with simulator cycles (internal/sim) or a seeded internal/rng stream", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

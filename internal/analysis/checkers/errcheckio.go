@@ -1,0 +1,85 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"randfill/internal/analysis"
+)
+
+// errcheckIO flags dropped error returns from the I/O paths that carry
+// experiment output: internal/traceio, os, io, and bufio. A Write or Flush
+// whose error is discarded can silently truncate a trace file or a results
+// table — the experiment then "succeeds" with corrupt data. Both plain
+// statement calls and defers are flagged; a deferred Close on a file that
+// was written is the classic silent-truncation bug (close flushes the last
+// buffered data). Deliberate drops on read-only paths must carry an inline
+// //lint:ignore errcheck-io with the reason.
+type errcheckIO struct{}
+
+func (errcheckIO) Name() string { return "errcheck-io" }
+
+func (errcheckIO) Doc() string {
+	return "flags dropped error returns from traceio/os/io/bufio calls, which can silently truncate experiment output"
+}
+
+var ioPackages = map[string]bool{"os": true, "io": true, "bufio": true}
+
+func (errcheckIO) Run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	report := func(call *ast.CallExpr, deferred bool) {
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		path := fn.Pkg().Path()
+		if !ioPackages[path] && !pathHasSuffix(path, "internal/traceio") {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		res := sig.Results()
+		if res.Len() == 0 {
+			return
+		}
+		last := res.At(res.Len() - 1).Type()
+		named, ok := last.(*types.Named)
+		if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+			return
+		}
+		how := "is dropped"
+		if deferred {
+			how = "is dropped by defer"
+		}
+		pass.Reportf(call.Pos(), analysis.SeverityError,
+			"error from %s.%s %s; a failed write/close silently truncates experiment output — check it or //lint:ignore with a reason", shortPkg(path), fn.Name(), how)
+	}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(call, false)
+				}
+			case *ast.DeferStmt:
+				report(n.Call, true)
+			case *ast.GoStmt:
+				report(n.Call, false)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func shortPkg(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

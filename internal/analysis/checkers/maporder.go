@@ -1,0 +1,179 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"randfill/internal/analysis"
+)
+
+// maporder flags range statements over maps whose body produces observable
+// effects: appending to a slice, writing output, or calling test/benchmark
+// hooks. Go randomizes map iteration order, so any output, subtest order,
+// or shared-rng draw sequence inside such a loop differs run to run —
+// exactly the nonreproducibility the simulator's security tables cannot
+// tolerate.
+//
+// The canonical fix — collect the keys, sort them, iterate the sorted
+// slice — is recognized and exempted: a loop whose body only appends the
+// range key to a slice that is later passed to sort.* / slices.Sort* in
+// the same function does not fire.
+type maporder struct{}
+
+func (maporder) Name() string { return "maporder" }
+
+func (maporder) Doc() string {
+	return "flags map iteration whose body appends, writes output, or drives tests; map order is nondeterministic — sort the keys first"
+}
+
+// effectCalls are method/function names whose invocation inside a map
+// range makes iteration order observable.
+var effectCalls = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"Error": true, "Errorf": true, "Fatal": true, "Fatalf": true,
+	"Log": true, "Logf": true, "Skip": true, "Skipf": true,
+	"Run": true,
+}
+
+func (maporder) Run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			effect := firstEffect(rs.Body)
+			if effect == "" {
+				return true
+			}
+			if isSortedKeyCollection(rs, stack) {
+				return true
+			}
+			pass.Reportf(rs.For, analysis.SeverityError,
+				"map iteration order is nondeterministic but this loop %s; collect the keys, sort them, and range over the sorted slice (or use an ordered slice of named cases)", effect)
+			return true
+		})
+	}
+	return nil
+}
+
+// firstEffect describes the first order-observable effect in body, or ""
+// when the loop body is effect-free.
+func firstEffect(body *ast.BlockStmt) string {
+	effect := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if effect != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			effect = "sends on a channel"
+			return false
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "append" {
+					effect = "appends to a slice"
+					return false
+				}
+			case *ast.SelectorExpr:
+				if effectCalls[fun.Sel.Name] {
+					effect = "calls " + fun.Sel.Name
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return effect
+}
+
+// isSortedKeyCollection recognizes the approved pattern:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice/sort.Ints/slices.Sort...(keys)
+//
+// i.e. a single-statement body appending the range key to a slice that is
+// sorted later in the same enclosing function.
+func isSortedKeyCollection(rs *ast.RangeStmt, stack []ast.Node) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	target, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+
+	// Find the nearest enclosing function body and look for a later
+	// sort.* / slices.Sort* call on the same identifier.
+	var fnBody *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			fnBody = fn.Body
+		case *ast.FuncLit:
+			fnBody = fn.Body
+		}
+		if fnBody != nil {
+			break
+		}
+	}
+	if fnBody == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && id.Name == target.Name {
+				sorted = true
+				return false
+			}
+			// sort.Slice(keys, func(...)...) style: first arg only.
+			break
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,163 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"randfill/internal/analysis"
+)
+
+// rngshare enforces stream hygiene for internal/rng sources. Two rules:
+//
+//  1. No package-level *rng.Source. An ambient shared stream couples the
+//     draw sequences of every subsystem that touches it, so adding one
+//     draw anywhere reorders randomness everywhere — the classic way a
+//     refactor silently changes Table 3.
+//  2. Within one function, the same *rng.Source must not be passed as an
+//     argument to two different calls. Two subsystems sharing one stream
+//     interleave their draws; derive independent streams with Split
+//     (src.Split(id)) so each subsystem's sequence is a pure function of
+//     the root seed.
+type rngshare struct{}
+
+func (rngshare) Name() string { return "rngshare" }
+
+func (rngshare) Doc() string {
+	return "flags package-level *rng.Source vars and one source passed to multiple subsystems without an interposed Split"
+}
+
+func (rngshare) Run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Rule 1: package-level sources.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := info.Defs[name]
+					if obj != nil && isRNGSourcePtr(obj.Type()) {
+						pass.Reportf(name.Pos(), analysis.SeverityError,
+							"package-level *rng.Source %q is an ambient shared stream; thread a Source through constructors and derive per-subsystem streams with Split", name.Name)
+					}
+				}
+			}
+		}
+
+		// Rule 2: one source, many subsystems.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSharedArgs(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// useSite is one argument-position use of a source, annotated with the
+// branch (switch case, if/else arm, select clause) it sits in so that
+// mutually exclusive uses are not treated as sharing.
+type useSite struct {
+	pos      token.Pos
+	branches map[ast.Node]ast.Node // controlling stmt -> arm containing the use
+}
+
+// checkSharedArgs reports each *rng.Source identifier that appears in
+// argument position of more than one call that can execute in the same
+// run of body. Receiver uses (src.Split, src.Intn, ...) do not count:
+// methods on the source are how a stream is meant to be consumed, and
+// Split is the sanctioned way to hand derived streams to multiple
+// subsystems. Uses in different arms of one switch/if/select are
+// exclusive and do not conflict.
+func checkSharedArgs(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	uses := make(map[*ast.Ident]bool) // idents already consumed as args
+	sites := make(map[types.Object][]useSite)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok || uses[id] {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil || !isRNGSourcePtr(obj.Type()) {
+				continue
+			}
+			uses[id] = true
+			sites[obj] = append(sites[obj], useSite{pos: id.Pos(), branches: branchesOf(stack)})
+		}
+		return true
+	})
+	for _, list := range sites {
+		sort.Slice(list, func(i, j int) bool { return list[i].pos < list[j].pos })
+		for i, s := range list {
+			for j := 0; j < i; j++ {
+				if conflicting(list[j], s) {
+					pass.Reportf(s.pos, analysis.SeverityWarning,
+						"rng source passed to multiple subsystems in this function; their draws will interleave — derive independent streams with src.Split(id)")
+					break
+				}
+			}
+		}
+	}
+}
+
+// branchesOf maps each branching statement on the ancestor path to the arm
+// the use lives in.
+func branchesOf(stack []ast.Node) map[ast.Node]ast.Node {
+	m := make(map[ast.Node]ast.Node)
+	for i := 1; i < len(stack); i++ {
+		node := stack[i]
+		switch node.(type) {
+		case *ast.CaseClause, *ast.CommClause:
+			// The clause hangs off the switch's BlockStmt; find the
+			// nearest enclosing switch/select statement.
+			for j := i - 1; j >= 0; j-- {
+				switch stack[j].(type) {
+				case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+					m[stack[j]] = node
+				default:
+					continue
+				}
+				break
+			}
+		}
+		if p, ok := stack[i-1].(*ast.IfStmt); ok {
+			if node == p.Body || node == p.Else {
+				m[stack[i-1]] = node
+			}
+		}
+	}
+	return m
+}
+
+// conflicting reports whether two uses can both execute in one run: they
+// do, unless some common branching statement places them in different arms.
+func conflicting(a, b useSite) bool {
+	for stmt, arm := range a.branches {
+		if other, ok := b.branches[stmt]; ok && other != arm {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// Run executes every analyzer over every package, applies //lint:ignore
+// suppression, and returns the surviving diagnostics sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	enabled := make(map[string]bool, len(analyzers))
+	for _, az := range analyzers {
+		enabled[az.Name()] = true
+	}
+	for _, pkg := range pkgs {
+		for _, az := range analyzers {
+			pass := &Pass{Analyzer: az, Fset: fset, Pkg: pkg, diags: &diags}
+			if err := az.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	dirs, malformed := parseDirectives(fset, pkgs)
+	diags = suppress(diags, dirs, enabled)
+	diags = append(diags, malformed...)
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Checker < b.Checker
+	})
+	return diags, nil
+}
+
+// RunUnsuppressed is Run without the //lint:ignore filter; the analyzer
+// test harness uses it to assert that seeded violations are detected even
+// when the corpus also tests suppression.
+func RunUnsuppressed(fset *token.FileSet, pkgs []*Package, analyzers []Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, az := range analyzers {
+			pass := &Pass{Analyzer: az, Fset: fset, Pkg: pkg, diags: &diags}
+			if err := az.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return diags, nil
+}

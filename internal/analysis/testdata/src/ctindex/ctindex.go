@@ -1,0 +1,22 @@
+// Package ctindex seeds violations for the ctindex checker:
+// secret-derived array indexing outside the designated victim packages.
+package ctindex
+
+var sbox [256]byte
+
+func leakyLookup(secretKey byte, round int) byte {
+	leaked := sbox[secretKey]           // want "secret-looking"
+	masked := sbox[int(secretKey)&0x0f] // want "secret-looking"
+	public := sbox[round&0xff]
+	return leaked ^ masked ^ public
+}
+
+func mapsAreAddressFree(privExponent string, m map[string]int) int {
+	// Map lookups hash the key; the cache-line address is not a linear
+	// function of the secret, so only array/slice indexing is flagged.
+	return m[privExponent]
+}
+
+func publicIndexing(counts []int, bucket int) int {
+	return counts[bucket]
+}

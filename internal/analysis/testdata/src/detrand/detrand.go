@@ -1,0 +1,29 @@
+// Package detrand seeds every violation the detrand checker must catch:
+// banned RNG imports and wall-clock reads.
+package detrand
+
+import (
+	"crypto/rand"     // want "import of crypto/rand breaks reproducibility"
+	mrand "math/rand" // want "import of math/rand breaks reproducibility"
+	"time"
+)
+
+func drawEverywhere() int {
+	v := mrand.Int()
+	buf := make([]byte, 8)
+	if _, err := rand.Read(buf); err != nil {
+		return 0
+	}
+	return v + int(buf[0])
+}
+
+func clockReads() time.Duration {
+	start := time.Now()          // want "time.Now reads the wall clock"
+	elapsed := time.Since(start) // want "time.Since reads the wall clock"
+	return elapsed
+}
+
+func durationsAreFine() time.Duration {
+	// Using time.Duration as a unit type is allowed; only clock reads leak.
+	return 5 * time.Millisecond
+}

@@ -1,0 +1,10 @@
+// Package directives seeds broken //lint:ignore usage: a directive with no
+// checker/reason, and a stale directive that suppresses nothing. Both must
+// be reported by the framework itself.
+package directives
+
+//lint:ignore
+func malformed() {}
+
+//lint:ignore detrand stale directive with nothing left to suppress
+func stale() {}

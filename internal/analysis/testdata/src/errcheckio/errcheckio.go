@@ -1,0 +1,38 @@
+// Package errcheckio seeds violations for the errcheck-io checker:
+// dropped error returns on the I/O paths that carry experiment output.
+package errcheckio
+
+import (
+	"io"
+	"os"
+
+	"randfill/internal/mem"
+	"randfill/internal/traceio"
+)
+
+func dropsWriteErrors(f *os.File, w io.Writer, trace mem.Trace) {
+	f.Close()                  // want "error from os.Close is dropped"
+	w.Write([]byte("results")) // want "error from io.Write is dropped"
+	traceio.Write(w, trace)    // want "error from traceio.Write is dropped"
+}
+
+func dropsByDefer(f *os.File) {
+	defer f.Close()       // want "dropped by defer"
+	f.WriteString("tail") // want "error from os.WriteString is dropped"
+}
+
+func checksProperly(f *os.File, w io.Writer, trace mem.Trace) error {
+	if err := traceio.Write(w, trace); err != nil {
+		return err
+	}
+	if _, err := f.WriteString("ok"); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func explicitDropIsADecision(f *os.File) {
+	// Assigning to blank is a visible, reviewable choice; only silent
+	// statement-position drops are flagged.
+	_ = f.Close()
+}

@@ -1,0 +1,42 @@
+// Package maporder seeds violations for the maporder checker: map ranges
+// whose bodies make iteration order observable, plus the approved
+// collect-and-sort pattern that must stay clean.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func printsInMapOrder(m map[string]int) {
+	for k, v := range m { // want "map iteration order is nondeterministic"
+		fmt.Println(k, v)
+	}
+}
+
+func appendsWithoutSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order is nondeterministic"
+		out = append(out, k)
+	}
+	return out // never sorted: caller observes map order
+}
+
+func sortedKeyCollection(m map[string]int) {
+	var keys []string
+	for k := range m { // approved pattern: keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+func commutativeReduction(m map[string]int) int {
+	total := 0
+	for _, v := range m { // effect-free body: order cannot be observed
+		total += v
+	}
+	return total
+}

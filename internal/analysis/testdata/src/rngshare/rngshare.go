@@ -1,0 +1,41 @@
+// Package rngshare seeds violations for the rngshare checker: ambient
+// package-level sources and one stream shared by two subsystems, plus the
+// Split and mutually-exclusive-branch patterns that must stay clean.
+package rngshare
+
+import "randfill/internal/rng"
+
+var ambient = rng.New(1) // want "package-level *rng.Source"
+
+func subsystemA(src *rng.Source) uint64 { return src.Uint64() }
+
+func subsystemB(src *rng.Source) uint64 { return src.Uint64() }
+
+func sharesOneStream(src *rng.Source) uint64 {
+	a := subsystemA(src)
+	b := subsystemB(src) // want "passed to multiple subsystems"
+	return a + b
+}
+
+func splitsProperly(src *rng.Source) uint64 {
+	a := subsystemA(src.Split(1))
+	b := subsystemB(src.Split(2))
+	return a + b
+}
+
+func exclusiveBranches(src *rng.Source, kind int) uint64 {
+	switch kind {
+	case 0:
+		return subsystemA(src)
+	default:
+		return subsystemB(src) // only one branch runs: no sharing
+	}
+}
+
+func exclusiveIfElse(src *rng.Source, fast bool) uint64 {
+	if fast {
+		return subsystemA(src)
+	} else {
+		return subsystemB(src) // only one branch runs: no sharing
+	}
+}

@@ -1,0 +1,10 @@
+// Package suppress proves the //lint:ignore mechanism: the violation below
+// must be reported by RunUnsuppressed and silenced by Run.
+package suppress
+
+import "time"
+
+func wallClock() int64 {
+	//lint:ignore detrand deliberate violation proving the suppression mechanism
+	return time.Now().Unix()
+}

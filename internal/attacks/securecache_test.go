@@ -61,10 +61,14 @@ func TestFlushReloadStillBreaksRPcacheAndNoMo(t *testing.T) {
 	// based secure caches only target contention; a reuse based attack
 	// (Flush-Reload) works against them exactly as against the SA cache,
 	// because they still demand-fetch.
-	for name, mk := range map[string]func(src *rng.Source) cache.Cache{
-		"rpcache": rp32k,
-		"nomo":    nomo32k,
+	for _, tc := range []struct {
+		name string
+		mk   func(src *rng.Source) cache.Cache
+	}{
+		{"rpcache", rp32k},
+		{"nomo", nomo32k},
 	} {
+		name, mk := tc.name, tc.mk
 		res := FlushReload(FlushReloadConfig{
 			NewCache: mk,
 			Window:   rng.Window{}, // demand fetch

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -196,11 +197,16 @@ func TestFigure10Shape(t *testing.T) {
 	}
 	// libquantum's gain is the largest in the table (the paper's star).
 	lqGain := parsePct(t, rows["libquantum"]["IPC"][fwd15])
-	for name, m := range rows {
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if name == "libquantum" {
 			continue
 		}
-		if g := parsePct(t, m["IPC"][fwd15]); g > lqGain {
+		if g := parsePct(t, rows[name]["IPC"][fwd15]); g > lqGain {
 			t.Errorf("%s gains more than libquantum at [0,15]: %v > %v", name, g, lqGain)
 		}
 	}

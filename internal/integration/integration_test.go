@@ -118,10 +118,14 @@ func TestDefenseCompositionEndToEnd(t *testing.T) {
 	mkRP := func(src *rng.Source) cache.Cache {
 		return rpcache.New(cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}, src)
 	}
-	for name, mk := range map[string]func(src *rng.Source) cache.Cache{
-		"rf+newcache": mkNC,
-		"rf+rpcache":  mkRP,
+	for _, tc := range []struct {
+		name string
+		mk   func(src *rng.Source) cache.Cache
+	}{
+		{"rf+newcache", mkNC},
+		{"rf+rpcache", mkRP},
 	} {
+		name, mk := tc.name, tc.mk
 		fr := attacks.FlushReload(attacks.FlushReloadConfig{
 			NewCache: mk,
 			Window:   rng.Symmetric(32),
@@ -158,14 +162,18 @@ func TestModexpSpyAcrossCaches(t *testing.T) {
 		t.Fatal(err)
 	}
 	secret, _ := new(big.Int).SetString("0123456789ABCDEF0123456789ABCDEF", 16)
-	caches := map[string]func(src *rng.Source) cache.Cache{
-		"sa":       sa32k,
-		"newcache": func(src *rng.Source) cache.Cache { return newcache.New(32*1024, 4, src) },
-		"rpcache": func(src *rng.Source) cache.Cache {
+	caches := []struct {
+		name string
+		mk   func(src *rng.Source) cache.Cache
+	}{
+		{"sa", sa32k},
+		{"newcache", func(src *rng.Source) cache.Cache { return newcache.New(32*1024, 4, src) }},
+		{"rpcache", func(src *rng.Source) cache.Cache {
 			return rpcache.New(cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}, src)
-		},
+		}},
 	}
-	for name, mk := range caches {
+	for _, tc := range caches {
+		name, mk := tc.name, tc.mk
 		res := modexp.Spy(e, secret, modexp.DefaultLayout(), mk, rng.Window{}, 1)
 		if res.Recovered.Cmp(secret) != 0 {
 			t.Errorf("%s: reuse attack failed to recover the exponent (%d/%d windows) — demand fetch should leak on every architecture",

@@ -70,6 +70,15 @@ func (s *Source) Bytes(p []byte) {
 	}
 }
 
+// Read fills p with random bytes and never fails, making Source an
+// io.Reader. This is the deterministic stand-in for crypto/rand.Reader
+// (and for math/rand adapters) anywhere a consumer — e.g. big.Int sampling
+// in the attack CLIs — wants randomness through the reader interface.
+func (s *Source) Read(p []byte) (int, error) {
+	s.Bytes(p)
+	return len(p), nil
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)

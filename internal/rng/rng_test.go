@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -172,8 +173,13 @@ func TestWindowGeneratorUniform(t *testing.T) {
 		t.Fatalf("observed %d distinct offsets, want %d", len(counts), w.Size())
 	}
 	want := draws / w.Size()
-	for off, c := range counts {
-		if c < want*9/10 || c > want*11/10 {
+	var offs []int
+	for off := range counts {
+		offs = append(offs, off)
+	}
+	sort.Ints(offs)
+	for _, off := range offs {
+		if c := counts[off]; c < want*9/10 || c > want*11/10 {
 			t.Errorf("offset %d: count %d far from %d", off, c, want)
 		}
 	}

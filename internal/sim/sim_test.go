@@ -334,15 +334,18 @@ func TestResultDerivedMetrics(t *testing.T) {
 }
 
 func TestFillModeStrings(t *testing.T) {
-	want := map[FillMode]string{
-		ModeDemand:        "demand",
-		ModeRandomFill:    "randomfill",
-		ModeDisableSecret: "disable-cache",
-		ModePreload:       "plcache+preload",
+	want := []struct {
+		mode FillMode
+		str  string
+	}{
+		{ModeDemand, "demand"},
+		{ModeRandomFill, "randomfill"},
+		{ModeDisableSecret, "disable-cache"},
+		{ModePreload, "plcache+preload"},
 	}
-	for m, s := range want {
-		if m.String() != s {
-			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+	for _, tc := range want {
+		if tc.mode.String() != tc.str {
+			t.Errorf("%d.String() = %q, want %q", int(tc.mode), tc.mode.String(), tc.str)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"sort"
+
 	"randfill/internal/cache"
 	"randfill/internal/core"
 	"randfill/internal/mem"
@@ -26,12 +28,14 @@ func (p Profile) Eff(d int) float64 {
 	return float64(p.Referenced[d]) / float64(f)
 }
 
-// Offsets returns the sampled offset range [-maxD, +maxD] that has data.
+// Offsets returns the sampled offsets that have data, in ascending order
+// so that iteration over a profile is deterministic.
 func (p Profile) Offsets() []int {
 	var out []int
 	for d := range p.Fetched {
 		out = append(out, d)
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"sort"
 	"testing"
 
 	"randfill/internal/cache"
@@ -55,7 +56,12 @@ func TestFootprintsDisjoint(t *testing.T) {
 	owner := make(map[mem.Line]string)
 	for _, g := range All() {
 		tr := g.Gen(20000, 3)
+		var lines []mem.Line
 		for l := range tr.Lines() {
+			lines = append(lines, l)
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		for _, l := range lines {
 			if prev, ok := owner[l]; ok && prev != g.Name {
 				t.Fatalf("line %d shared by %s and %s", l, prev, g.Name)
 			}
@@ -90,7 +96,8 @@ func geom32k() cache.Geometry { return cache.Geometry{SizeBytes: 32 * 1024, Ways
 func TestSpatialProfileBounds(t *testing.T) {
 	g, _ := ByName("lbm")
 	p := SpatialProfile(g.Gen(40000, 1), geom32k(), 16, 1)
-	for d, f := range p.Fetched {
+	for _, d := range p.Offsets() {
+		f := p.Fetched[d]
 		if d < -16 || d > 16 {
 			t.Errorf("offset %d outside ±16", d)
 		}

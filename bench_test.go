@@ -82,6 +82,28 @@ func BenchmarkTable3(b *testing.B) {
 	}
 }
 
+// BenchmarkTable3CellWorkers measures one full-scale-representative Table 3
+// cell (the window-2 SA cell: Monte Carlo P1-P2 plus the sharded
+// measurements-to-success search) at 1, 2, 4 and 8 workers. Because the
+// shard plan is fixed, every worker count computes identical results — the
+// sub-benchmarks differ only in wall clock, which is the point: this is the
+// recorded evidence for the engine's speedup (see DESIGN.md for numbers;
+// on a single-core runner all counts tie, by design).
+func BenchmarkTable3CellWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(strconv.Itoa(workers), func(b *testing.B) {
+			sc := experiments.QuickScale()
+			sc.Workers = workers
+			for i := 0; i < b.N; i++ {
+				tb := experiments.Table3Cell(sc, 2)
+				if len(tb.Rows) != 1 {
+					b.Fatal("bad cell table")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFigure5 regenerates the channel-capacity chart.
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {

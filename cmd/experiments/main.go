@@ -25,6 +25,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the random seed (0 = scale default)")
 	attackCap := flag.Int("attack-cap", 0, "override the Table3 measurements-to-success cap")
 	mcTrials := flag.Int("mc-trials", 0, "override the Table3 Monte Carlo trial count")
+	workers := flag.Int("workers", 0, "parallel workers per experiment (0 = GOMAXPROCS); output is byte-identical for any value")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 	if *mcTrials != 0 {
 		sc.MonteCarloTrials = *mcTrials
 	}
+	sc.Workers = *workers
 
 	var todo []experiments.Experiment
 	if strings.EqualFold(*run, "all") {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"randfill/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from the current output")
+
+// TestEquation4QuickGolden pins the exact bytes `experiments -run equation4
+// -scale quick` prints for the table (the timing footer is wall-clock and is
+// not part of the contract). The golden file is the regression fence for the
+// whole stack under the experiment: AES tracing, the cache model, the fill
+// engine, the RNG stream layout, and the parallel engine's shard plan. It is
+// rendered at -workers 8 and must equal a -workers 1 rendering first — a
+// golden that depended on the worker count would be pinning scheduler noise.
+//
+// Regenerate with `go test ./cmd/experiments -run Golden -update` after an
+// intentional change, and say why in the commit.
+func TestEquation4QuickGolden(t *testing.T) {
+	e, ok := experiments.ByName("Equation4")
+	if !ok {
+		t.Fatal("Equation4 not registered")
+	}
+	sc := experiments.QuickScale()
+	sc.Workers = 1
+	serial := e.Run(sc).String()
+	sc.Workers = 8
+	got := e.Run(sc).String()
+	if got != serial {
+		t.Fatalf("Equation4 differs between workers=1 and workers=8:\n%s\nvs\n%s", serial, got)
+	}
+
+	golden := filepath.Join("testdata", "equation4_quick.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Equation4 quick output drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -9,7 +9,7 @@ import (
 	"randfill/internal/analysis"
 )
 
-// rngshare enforces stream hygiene for internal/rng sources. Two rules:
+// rngshare enforces stream hygiene for internal/rng sources. Three rules:
 //
 //  1. No package-level *rng.Source. An ambient shared stream couples the
 //     draw sequences of every subsystem that touches it, so adding one
@@ -20,6 +20,14 @@ import (
 //     interleave their draws; derive independent streams with Split
 //     (src.Split(id)) so each subsystem's sequence is a pure function of
 //     the root seed.
+//  3. A *rng.Source must not cross a goroutine boundary: neither captured
+//     free by a closure launched with `go` nor passed as a bare argument in
+//     a go statement. Concurrent draws race on the stream state, and even
+//     under a lock the interleaving (hence every downstream number) would
+//     depend on the scheduler. The sanctioned shapes construct the stream
+//     inside the goroutine or hand over a derived one:
+//
+//	go func(s *rng.Source) { ... }(src.Split(id))
 type rngshare struct{}
 
 func (rngshare) Name() string { return "rngshare" }
@@ -60,8 +68,59 @@ func (rngshare) Run(pass *analysis.Pass) error {
 			}
 			checkSharedArgs(pass, fd.Body)
 		}
+
+		// Rule 3: sources crossing a goroutine boundary.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, g)
+			}
+			return true
+		})
 	}
 	return nil
+}
+
+// checkGoStmt reports *rng.Source values that escape into a goroutine: bare
+// source arguments of the go call, and sources captured free by a launched
+// func literal. Sources constructed inside the closure, closure parameters,
+// and Split-derived arguments (call expressions, not bare idents) all pass.
+func checkGoStmt(pass *analysis.Pass, g *ast.GoStmt) {
+	info := pass.Pkg.Info
+	for _, arg := range g.Call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := info.Uses[id]; obj != nil && isRNGSourcePtr(obj.Type()) {
+			pass.Reportf(id.Pos(), analysis.SeverityError,
+				"rng source %q passed to a goroutine; concurrent draws race on the stream — pass %s.Split(id) instead", id.Name, id.Name)
+		}
+	}
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || reported[obj] || !isRNGSourcePtr(obj.Type()) {
+			return true
+		}
+		// Only free variables count: anything declared within the literal
+		// (parameters, locals, nested-closure state) belongs to the
+		// goroutine already.
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		reported[obj] = true
+		pass.Reportf(id.Pos(), analysis.SeverityError,
+			"rng source %q captured by a goroutine closure; concurrent draws race on the stream — construct the source inside the goroutine or pass %s.Split(id) as an argument", id.Name, id.Name)
+		return true
+	})
 }
 
 // useSite is one argument-position use of a source, annotated with the

@@ -39,3 +39,28 @@ func exclusiveIfElse(src *rng.Source, fast bool) uint64 {
 		return subsystemB(src) // only one branch runs: no sharing
 	}
 }
+
+func capturesInGoroutine(src *rng.Source, done chan uint64) {
+	go func() {
+		done <- subsystemA(src) // want "captured by a goroutine closure"
+	}()
+}
+
+func passesToGoroutine(src *rng.Source) {
+	go subsystemA(src) // want "passed to a goroutine"
+}
+
+func splitsPerGoroutine(src *rng.Source, done chan uint64) {
+	for i := 0; i < 4; i++ {
+		go func(s *rng.Source) { // derived stream: the sanctioned shape
+			done <- subsystemA(s)
+		}(src.Split(uint64(i)))
+	}
+}
+
+func constructsInsideGoroutine(seed uint64, done chan uint64) {
+	go func() {
+		s := rng.New(seed) // goroutine-local stream: no capture
+		done <- subsystemA(s)
+	}()
+}

@@ -55,10 +55,34 @@ type CollisionConfig struct {
 	TraceOpts aes.TraceOpts
 }
 
+// CollisionStats is the mergeable measurement state of a collision attack:
+// for each recovered XOR relation, the per-XOR-value grouped timing
+// statistics, plus the overall timing distribution. It is everything the
+// attack's verdict functions (RecoveredXor, Success, TimingChart, SigmaT)
+// need, divorced from the machinery that produces measurements — which is
+// what lets the parallel experiment engine shard one attack across
+// goroutines and fold the shard states back together in a fixed order.
+type CollisionStats struct {
+	// pairs and truth describe the XOR relations under recovery and
+	// their ground-truth values; all shards of one attack share them
+	// (same victim key), and Merge enforces that.
+	pairs []bytePair
+	truth []int
+	// groups[p] aggregates encryption times keyed by the XOR of byte
+	// pair p. Final round: pairs (0,i), i = 1..15, keyed by c0^ci.
+	// First round: pairs within each table's byte positions, keyed by
+	// the line-granular plaintext XOR.
+	groups []*stats.Grouped
+	timing stats.Running
+	n      uint64
+}
+
 // Collision is an in-progress cache collision attack: it accumulates timing
 // measurements over block encryptions with random plaintexts and recovers
 // key-byte XOR relations from the per-group mean encryption times.
 type Collision struct {
+	*CollisionStats
+
 	cfg     CollisionConfig
 	cipher  *aes.Cipher
 	tracer  *aes.Tracer
@@ -66,15 +90,6 @@ type Collision struct {
 	thread  *sim.Thread
 	src     *rng.Source
 	layout  aes.Layout
-
-	// groups[p] aggregates encryption times keyed by the XOR of byte
-	// pair p. Final round: pairs (0,i), i = 1..15, keyed by c0^ci.
-	// First round: pairs within each table's byte positions, keyed by
-	// the line-granular plaintext XOR.
-	groups  []*stats.Grouped
-	pairs   []bytePair
-	timing  stats.Running
-	n       uint64
 	warmups int
 }
 
@@ -103,13 +118,14 @@ func NewCollision(cfg CollisionConfig) *Collision {
 	layout := aes.DefaultLayout()
 	machine := sim.New(cfg.Sim)
 	a := &Collision{
-		cfg:     cfg,
-		cipher:  cipher,
-		tracer:  &aes.Tracer{Cipher: cipher, Layout: layout, Opts: cfg.TraceOpts},
-		machine: machine,
-		thread:  machine.NewThread(cfg.Victim),
-		src:     src,
-		layout:  layout,
+		CollisionStats: &CollisionStats{},
+		cfg:            cfg,
+		cipher:         cipher,
+		tracer:         &aes.Tracer{Cipher: cipher, Layout: layout, Opts: cfg.TraceOpts},
+		machine:        machine,
+		thread:         machine.NewThread(cfg.Victim),
+		src:            src,
+		layout:         layout,
 	}
 	switch cfg.Round {
 	case FinalRound:
@@ -145,21 +161,69 @@ func NewCollision(cfg CollisionConfig) *Collision {
 		}
 		a.groups[p] = stats.NewGrouped(size)
 	}
+	a.truth = make([]int, len(a.pairs))
+	for p := range a.pairs {
+		a.truth[p] = a.computeTrueXor(p)
+	}
 	return a
 }
 
+// Stats returns the attack's mergeable measurement state. The returned
+// value aliases the attack's live accumulators: Clone it before merging
+// into an aggregate.
+func (a *Collision) Stats() *CollisionStats { return a.CollisionStats }
+
 // Pairs returns the number of XOR relations the attack recovers.
-func (a *Collision) Pairs() int { return len(a.pairs) }
+func (s *CollisionStats) Pairs() int { return len(s.pairs) }
 
 // Samples returns the number of measurements collected so far.
-func (a *Collision) Samples() uint64 { return a.n }
+func (s *CollisionStats) Samples() uint64 { return s.n }
 
 // SigmaT returns the standard deviation of the measured encryption times,
 // the sigma_T of Equation 5.
-func (a *Collision) SigmaT() float64 { return a.timing.StdDev() }
+func (s *CollisionStats) SigmaT() float64 { return s.timing.StdDev() }
 
 // MeanTime returns the mean measured encryption time in cycles.
-func (a *Collision) MeanTime() float64 { return a.timing.Mean() }
+func (s *CollisionStats) MeanTime() float64 { return s.timing.Mean() }
+
+// Clone returns an independent deep copy of s, the seed for an aggregate
+// that merges several shards' states without disturbing them.
+func (s *CollisionStats) Clone() *CollisionStats {
+	c := &CollisionStats{
+		pairs:  s.pairs,
+		truth:  s.truth,
+		groups: make([]*stats.Grouped, len(s.groups)),
+		timing: s.timing,
+		n:      s.n,
+	}
+	for p := range s.groups {
+		c.groups[p] = s.groups[p].Clone()
+	}
+	return c
+}
+
+// Merge folds other's measurements into s, as if s had collected them
+// itself. Both states must come from the same attack configuration — same
+// pair set and same victim key (identical ground truth); Merge panics
+// otherwise, because merging measurements of different victims is a bug,
+// not data. Merge order is up to the caller; the parallel engine always
+// merges in shard-index order so the folded floats are reproducible.
+func (s *CollisionStats) Merge(other *CollisionStats) {
+	if len(s.pairs) != len(other.pairs) {
+		panic(fmt.Sprintf("attacks: merging collision stats with %d pairs into %d pairs",
+			len(other.pairs), len(s.pairs)))
+	}
+	for p := range s.truth {
+		if s.truth[p] != other.truth[p] {
+			panic("attacks: merging collision stats of different victim keys")
+		}
+	}
+	for p := range s.groups {
+		s.groups[p].Merge(other.groups[p])
+	}
+	s.timing.Merge(other.timing)
+	s.n += other.n
+}
 
 // cleanCache restores the attacker's "clean cache" precondition between
 // measurements: the L1 is flushed (the attacker primes/flushes the L1 data
@@ -223,7 +287,11 @@ func (a *Collision) Collect(n int) {
 
 // TrueXor returns the ground-truth XOR value for pair p: for the final
 // round, k10_i ^ k10_j; for the first round, the high nibble of k_i ^ k_j.
-func (a *Collision) TrueXor(p int) int {
+func (s *CollisionStats) TrueXor(p int) int { return s.truth[p] }
+
+// computeTrueXor derives the ground truth for pair p from the victim's key
+// schedule at construction time.
+func (a *Collision) computeTrueXor(p int) int {
 	pair := a.pairs[p]
 	if a.cfg.Round == FinalRound {
 		k10 := a.cipher.LastRoundKey()
@@ -266,14 +334,14 @@ func (r *roundOneRec) Lookup(table int, index byte, round int, first bool) {
 
 // RecoveredXor returns the attack's current estimate for pair p: the group
 // key with the minimum mean encryption time (the collision value).
-func (a *Collision) RecoveredXor(p int) int { return a.groups[p].ArgMin() }
+func (s *CollisionStats) RecoveredXor(p int) int { return s.groups[p].ArgMin() }
 
 // CorrectPairs returns how many of the XOR relations are currently
 // recovered correctly.
-func (a *Collision) CorrectPairs() int {
+func (s *CollisionStats) CorrectPairs() int {
 	n := 0
-	for p := range a.pairs {
-		if a.RecoveredXor(p) == a.TrueXor(p) {
+	for p := range s.pairs {
+		if s.RecoveredXor(p) == s.TrueXor(p) {
 			n++
 		}
 	}
@@ -282,13 +350,13 @@ func (a *Collision) CorrectPairs() int {
 
 // Success reports whether every XOR relation is recovered (full key
 // recovery up to one guessed byte, as in Section II.C).
-func (a *Collision) Success() bool { return a.CorrectPairs() == len(a.pairs) }
+func (s *CollisionStats) Success() bool { return s.CorrectPairs() == len(s.pairs) }
 
 // TimingChart returns the Figure 2 series for pair p: for each XOR value,
 // the mean encryption time minus the grand mean (NaN-free: empty groups
 // report 0 deviation). The collision value shows the minimum.
-func (a *Collision) TimingChart(p int) []float64 {
-	g := a.groups[p]
+func (s *CollisionStats) TimingChart(p int) []float64 {
+	g := s.groups[p]
 	grand := g.GrandMean()
 	out := make([]float64, g.Len())
 	for k := range out {

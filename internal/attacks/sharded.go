@@ -1,0 +1,108 @@
+package attacks
+
+import (
+	"randfill/internal/parexp"
+	"randfill/internal/rng"
+)
+
+// newShards builds one collision attack per shard, all against the SAME
+// victim key (the shards are one attack on one victim) but each with its
+// own Split-derived plaintext stream and simulator seed. The shard plan is
+// a pure function of (cfg, shards): which shard draws which random values
+// never depends on how many goroutines execute them.
+func newShards(cfg CollisionConfig, shards int) []*Collision {
+	if shards < 1 {
+		shards = 1
+	}
+	// Mirror NewCollision's key derivation so that, for a given cfg.Seed,
+	// the sharded attack targets the same victim key as the serial one.
+	root := rng.New(cfg.Seed ^ 0xc0111510)
+	key := cfg.Key
+	if key == nil {
+		key = make([]byte, 16)
+		root.Bytes(key)
+	}
+	out := make([]*Collision, shards)
+	for s := range out {
+		scfg := cfg
+		scfg.Key = key
+		scfg.Seed = root.SplitSeed(uint64(s))
+		// Give each shard's machine (random fill engine, replacement
+		// randomness) its own stream too, so shards are independent
+		// Monte Carlo samples of the same victim, not replicas.
+		scfg.Sim.Seed = scfg.Seed ^ 0x5ead
+		out[s] = NewCollision(scfg)
+	}
+	return out
+}
+
+// mergeShards folds the shard states together in shard-index order and
+// returns the aggregate; the shards' own accumulators are left untouched.
+func mergeShards(shards []*Collision) *CollisionStats {
+	agg := shards[0].Stats().Clone()
+	for _, a := range shards[1:] {
+		agg.Merge(a.Stats())
+	}
+	return agg
+}
+
+// CollectSharded runs one collision attack's measurement collection across
+// a fixed shard plan: total measurements are split evenly over shards, each
+// shard collects its slice on eng's worker pool, and the merged statistics
+// are returned. For a fixed (cfg, total, shards) the result is
+// byte-identical for any worker count — the parallel counterpart of
+// NewCollision + Collect(total).
+func CollectSharded(eng *parexp.Engine, cfg CollisionConfig, total, shards int) *CollisionStats {
+	atks := newShards(cfg, shards)
+	counts := parexp.SplitCounts(total, len(atks))
+	eng.ForEach(len(atks), func(s int) { atks[s].Collect(counts[s]) })
+	return mergeShards(atks)
+}
+
+// MeasurementsToSuccessSharded is the parallel measurements-to-success
+// search behind Table III: the sample budget is consumed in rounds of batch
+// measurements, each round split over the fixed shard plan; after every
+// round the shard states merge (in shard order) and the aggregate is
+// checked for full key recovery, exactly like the serial search's batch
+// checkpoints. Reported Measurements is the aggregate sample count at the
+// first successful checkpoint.
+//
+// The result is a function of (cfg, batch, maxSamples, shards) only —
+// worker count changes wall-clock, never the returned numbers. Note the
+// numbers do differ from the serial MeasurementsToSuccess at equal budgets:
+// the shards are independent measurement streams, so the grouped means they
+// merge are a different (equally valid) Monte Carlo sample of the same
+// attack.
+func MeasurementsToSuccessSharded(eng *parexp.Engine, cfg CollisionConfig, batch, maxSamples, shards int) SearchResult {
+	atks := newShards(cfg, shards)
+	best := 0
+	collected := 0
+	agg := mergeShards(atks) // degenerate budgets report an empty aggregate
+	for collected < maxSamples {
+		n := batch
+		if rem := maxSamples - collected; n > rem {
+			n = rem
+		}
+		counts := parexp.SplitCounts(n, len(atks))
+		eng.ForEach(len(atks), func(s int) { atks[s].Collect(counts[s]) })
+		collected += n
+		agg = mergeShards(atks)
+		if c := agg.CorrectPairs(); c > best {
+			best = c
+		}
+		if agg.Success() {
+			return SearchResult{
+				Measurements: agg.Samples(),
+				Success:      true,
+				CorrectPairs: agg.Pairs(),
+				SigmaT:       agg.SigmaT(),
+			}
+		}
+	}
+	return SearchResult{
+		Measurements: agg.Samples(),
+		Success:      false,
+		CorrectPairs: best,
+		SigmaT:       agg.SigmaT(),
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"randfill/internal/cache"
 	"randfill/internal/infotheory"
+	"randfill/internal/parexp"
 	"randfill/internal/rng"
 	"randfill/internal/sim"
 	"randfill/internal/workloads"
@@ -32,18 +33,25 @@ func AblationWindowShape(sc Scale) *Table {
 	trace := bench.Gen(sc.SpecAccesses, sc.Seed)
 	base := sim.New(sim.Config{Seed: sc.Seed}).RunTraceSteady(sim.ThreadConfig{}, trace)
 
-	for _, sh := range shapes {
+	type shapeResult struct {
+		diff float64
+		ipc  float64
+	}
+	results := parexp.Map(sc.engine(), len(shapes), func(i int) shapeResult {
 		mc := infotheory.MonteCarloP1P2(infotheory.P1P2Config{
 			NewCache: sa32kFactory(),
-			Window:   sh.w,
+			Window:   shapes[i].w,
 			Trials:   sc.MonteCarloTrials / 2,
 			Region:   t4Region(),
 			Seed:     sc.Seed,
 		})
 		res := sim.New(sim.Config{Seed: sc.Seed}).RunTraceSteady(sim.ThreadConfig{
-			Mode: sim.ModeRandomFill, Window: sh.w,
+			Mode: sim.ModeRandomFill, Window: shapes[i].w,
 		}, trace)
-		t.AddRow(sh.name, fmt.Sprintf("%.3f", mc.Diff()), pct(res.IPC()/base.IPC()))
+		return shapeResult{mc.Diff(), res.IPC()}
+	})
+	for i, r := range results {
+		t.AddRow(shapes[i].name, fmt.Sprintf("%.3f", r.diff), pct(r.ipc/base.IPC()))
 	}
 	t.AddNote("the bidirectional shape gives the best security at equal size (the paper's choice for crypto); only the forward shape buys the streaming speedup")
 	return t
@@ -61,15 +69,18 @@ func AblationFillQueue(sc Scale) *Table {
 	}
 	trace := aesCBCTrace(sc)
 	base := sim.New(sim.Config{Seed: sc.Seed}).RunTrace(sim.ThreadConfig{}, trace)
-	for _, depth := range []int{1, 4, 16, 64} {
+	depths := []int{1, 4, 16, 64}
+	results := parexp.Map(sc.engine(), len(depths), func(i int) sim.Result {
 		cfg := sim.DefaultConfig()
 		cfg.Seed = sc.Seed
 		cfg.MissQueue = 2
-		cfg.FillQueueCap = depth
-		res := sim.New(cfg).RunTrace(sim.ThreadConfig{
+		cfg.FillQueueCap = depths[i]
+		return sim.New(cfg).RunTrace(sim.ThreadConfig{
 			Mode: sim.ModeRandomFill, Window: rng.Window{A: 16, B: 15},
 		}, trace)
-		t.AddRow(fmt.Sprintf("%d", depth),
+	})
+	for i, res := range results {
+		t.AddRow(fmt.Sprintf("%d", depths[i]),
 			fmt.Sprintf("%d", res.RandomFills),
 			pct(res.IPC()/base.IPC()))
 	}
@@ -86,23 +97,23 @@ func AblationMissQueue(sc Scale) *Table {
 		Headers: []string{"entries", "IPC", "vs 4 entries"},
 	}
 	trace := aesCBCTrace(sc)
+	sizes := []int{1, 2, 4, 8}
+	// Each size is simulated once; the "vs 4 entries" column is computed
+	// from the collected IPCs rather than re-running every configuration.
+	ipcs := parexp.Map(sc.engine(), len(sizes), func(i int) float64 {
+		cfg := sim.DefaultConfig()
+		cfg.Seed = sc.Seed
+		cfg.MissQueue = sizes[i]
+		return sim.New(cfg).RunTrace(sim.ThreadConfig{}, trace).IPC()
+	})
 	var base float64
-	for _, n := range []int{1, 2, 4, 8} {
-		cfg := sim.DefaultConfig()
-		cfg.Seed = sc.Seed
-		cfg.MissQueue = n
-		res := sim.New(cfg).RunTrace(sim.ThreadConfig{}, trace)
+	for i, n := range sizes {
 		if n == 4 {
-			base = res.IPC()
+			base = ipcs[i]
 		}
-		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.3f", res.IPC()), "")
 	}
-	for i, n := range []int{1, 2, 4, 8} {
-		cfg := sim.DefaultConfig()
-		cfg.Seed = sc.Seed
-		cfg.MissQueue = n
-		res := sim.New(cfg).RunTrace(sim.ThreadConfig{}, trace)
-		t.Rows[i][2] = pct(res.IPC() / base)
+	for i, n := range sizes {
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.3f", ipcs[i]), pct(ipcs[i]/base))
 	}
 	t.AddNote("fewer entries serialize misses, which is why the paper's 1-entry security configuration makes timing attacks an order of magnitude cheaper")
 	return t
@@ -120,19 +131,27 @@ func AblationDropOnHit(sc Scale) *Table {
 	mBase := sim.New(sim.Config{Seed: sc.Seed})
 	base := mBase.RunTrace(sim.ThreadConfig{}, trace)
 
-	for _, keep := range []bool{false, true} {
+	keeps := []bool{false, true}
+	type dropResult struct {
+		ipc float64
+		l2  uint64
+	}
+	results := parexp.Map(sc.engine(), len(keeps), func(i int) dropResult {
 		m := sim.New(sim.Config{Seed: sc.Seed})
 		res := m.RunTrace(sim.ThreadConfig{
 			Mode:               sim.ModeRandomFill,
 			Window:             rng.Window{A: 16, B: 15},
-			KeepRedundantFills: keep,
+			KeepRedundantFills: keeps[i],
 		}, trace)
+		return dropResult{res.IPC(), m.L2Accesses()}
+	})
+	for i, r := range results {
 		name := "with drop (hardware design)"
-		if keep {
+		if keeps[i] {
 			name = "without drop (ablated)"
 		}
-		t.AddRow(name, pct(res.IPC()/base.IPC()),
-			pct(float64(m.L2Accesses())/float64(mBase.L2Accesses())))
+		t.AddRow(name, pct(r.ipc/base.IPC()),
+			pct(float64(r.l2)/float64(mBase.L2Accesses())))
 	}
 	return t
 }
@@ -149,15 +168,18 @@ func AblationL2RandomFill(sc Scale) *Table {
 	base := sim.New(sim.Config{Seed: sc.Seed}).RunTrace(sim.ThreadConfig{}, trace)
 	w := rng.Window{A: 16, B: 15}
 
-	l1only := sim.New(sim.Config{Seed: sc.Seed}).RunTrace(sim.ThreadConfig{
-		Mode: sim.ModeRandomFill, Window: w,
-	}, trace)
-	both := sim.New(sim.Config{Seed: sc.Seed, L2Window: w}).RunTrace(sim.ThreadConfig{
-		Mode: sim.ModeRandomFill, Window: w,
-	}, trace)
+	variants := []sim.Config{
+		{Seed: sc.Seed},
+		{Seed: sc.Seed, L2Window: w},
+	}
+	ipcs := parexp.Map(sc.engine(), len(variants), func(i int) float64 {
+		return sim.New(variants[i]).RunTrace(sim.ThreadConfig{
+			Mode: sim.ModeRandomFill, Window: w,
+		}, trace).IPC()
+	})
 
-	t.AddRow("L1 random fill", pct(l1only.IPC()/base.IPC()))
-	t.AddRow("L1+L2 random fill", pct(both.IPC()/base.IPC()))
+	t.AddRow("L1 random fill", pct(ipcs[0]/base.IPC()))
+	t.AddRow("L1+L2 random fill", pct(ipcs[1]/base.IPC()))
 	t.AddNote("paper Section VI: \"the performance impact is negligible since the L2 cache is large and can better tolerate the potential cache pollution\"")
 	return t
 }

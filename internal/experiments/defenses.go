@@ -7,6 +7,7 @@ import (
 	"randfill/internal/cache"
 	"randfill/internal/newcache"
 	"randfill/internal/nomo"
+	"randfill/internal/parexp"
 	"randfill/internal/rng"
 	"randfill/internal/rpcache"
 )
@@ -54,7 +55,13 @@ func DefenseMatrix(sc Scale) *Table {
 		trials = 1000
 	}
 	region := t4Region()
-	for _, row := range defenseRows() {
+	rows := defenseRows()
+	type matrixCell struct {
+		pp attacks.PrimeProbeResult
+		fr attacks.FlushReloadResult
+	}
+	cells := parexp.Map(sc.engine(), len(rows), func(i int) matrixCell {
+		row := rows[i]
 		pp := attacks.PrimeProbe(attacks.PrimeProbeConfig{
 			NewCache:     row.mk,
 			Sets:         128,
@@ -72,10 +79,13 @@ func DefenseMatrix(sc Scale) *Table {
 			Trials:   trials,
 			Seed:     sc.Seed,
 		})
-		t.AddRow(row.name,
-			fmt.Sprintf("%.1f%%", 100*pp.ExactAccuracy),
-			fmt.Sprintf("%.1f%%", 100*fr.Accuracy),
-			fmt.Sprintf("%.3f", fr.MutualInfo))
+		return matrixCell{pp, fr}
+	})
+	for i, c := range cells {
+		t.AddRow(rows[i].name,
+			fmt.Sprintf("%.1f%%", 100*c.pp.ExactAccuracy),
+			fmt.Sprintf("%.1f%%", 100*c.fr.Accuracy),
+			fmt.Sprintf("%.3f", c.fr.MutualInfo))
 	}
 	t.AddNote("paper Section VIII: partition/randomization designs stop contention attacks only; random fill stops reuse attacks only; composing them covers all known cache side channel attacks")
 	return t

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"randfill/internal/infotheory"
+	"randfill/internal/parexp"
 	"randfill/internal/rng"
 )
 
@@ -21,14 +22,19 @@ func Equation4(sc Scale) *Table {
 	if trials < 1000 {
 		trials = 1000
 	}
-	for _, size := range []int{1, 2, 4, 8, 16, 32} {
-		res := infotheory.MeasureTimingSignal(infotheory.TimingSignalConfig{
-			Window: rng.Symmetric(size),
+	sizes := []int{1, 2, 4, 8, 16, 32}
+	// One self-contained measurement per window size; Map keeps row order
+	// fixed no matter which size finishes first.
+	results := parexp.Map(sc.engine(), len(sizes), func(i int) infotheory.TimingSignalResult {
+		return infotheory.MeasureTimingSignal(infotheory.TimingSignalConfig{
+			Window: rng.Symmetric(sizes[i]),
 			Region: t4Region(),
 			Trials: trials,
-			Seed:   sc.Seed + uint64(size),
+			Seed:   sc.Seed + uint64(sizes[i]),
 		})
-		t.AddRow(fmt.Sprintf("%d", size),
+	})
+	for i, res := range results {
+		t.AddRow(fmt.Sprintf("%d", sizes[i]),
 			fmt.Sprintf("%.3f", res.P1),
 			fmt.Sprintf("%.3f", res.P2),
 			fmt.Sprintf("%.2f", res.Predicted),

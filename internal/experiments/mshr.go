@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"randfill/internal/attacks"
+	"randfill/internal/parexp"
 	"randfill/internal/sim"
 )
 
@@ -19,15 +20,19 @@ func MissQueueSecurity(sc Scale) *Table {
 		Headers: []string{"miss queue entries", "sigma_T (cycles)",
 			"pairs recovered", "outcome"},
 	}
-	for _, entries := range []int{2, 4, 8} {
+	sizes := []int{2, 4, 8}
+	eng := sc.engine()
+	results := parexp.Map(eng, len(sizes), func(i int) attacks.SearchResult {
 		cfg := attacks.CollisionConfig{Sim: sim.DefaultConfig(), Seed: sc.Seed}
-		cfg.Sim.MissQueue = entries
-		res := attacks.MeasurementsToSuccess(cfg, sc.AttackBatch, sc.AttackMaxSamples)
+		cfg.Sim.MissQueue = sizes[i]
+		return attacks.MeasurementsToSuccessSharded(eng, cfg, sc.AttackBatch, sc.AttackMaxSamples, parexp.Shards)
+	})
+	for i, res := range results {
 		outcome := fmt.Sprintf("no success at %d samples", res.Measurements)
 		if res.Success {
 			outcome = fmt.Sprintf("success at %d samples", res.Measurements)
 		}
-		t.AddRow(fmt.Sprintf("%d", entries),
+		t.AddRow(fmt.Sprintf("%d", sizes[i]),
 			fmt.Sprintf("%.1f", res.SigmaT),
 			fmt.Sprintf("%d/15", res.CorrectPairs),
 			outcome)

@@ -6,6 +6,7 @@ import (
 	"randfill/internal/aes"
 	"randfill/internal/cache"
 	"randfill/internal/mem"
+	"randfill/internal/parexp"
 	"randfill/internal/rng"
 	"randfill/internal/sim"
 )
@@ -90,7 +91,10 @@ func Figure6(sc Scale) *Table {
 		Title:   "Figure 6: normalized IPC of AES-CBC under each defense",
 		Headers: []string{"L1 geometry", "baseline", "PLcache+preload", "disable cache", "random fill"},
 	}
-	for _, g := range figure6Geometries() {
+	geoms := figure6Geometries()
+	// Each geometry's four runs are one self-contained work item.
+	rows := parexp.Map(sc.engine(), len(geoms), func(i int) [4]float64 {
+		g := geoms[i]
 		base := func(kind sim.CacheKind) sim.Config {
 			cfg := sim.DefaultConfig()
 			cfg.L1 = g
@@ -106,10 +110,11 @@ func Figure6(sc Scale) *Table {
 		rf := runAES(base(sim.KindSA), sim.ThreadConfig{
 			Mode: sim.ModeRandomFill, Window: rng.Window{A: 16, B: 15},
 		}, trace)
-		t.AddRow(g.String(), "100.0%",
-			pct(preload.IPC()/baseline.IPC()),
-			pct(disable.IPC()/baseline.IPC()),
-			pct(rf.IPC()/baseline.IPC()))
+		return [4]float64{baseline.IPC(), preload.IPC(), disable.IPC(), rf.IPC()}
+	})
+	for i, r := range rows {
+		t.AddRow(geoms[i].String(), "100.0%",
+			pct(r[1]/r[0]), pct(r[2]/r[0]), pct(r[3]/r[0]))
 	}
 	t.AddNote("paper: disable cache ≈ 55%% for all shapes; PLcache+preload 85%% at 8KB DM rising with size/ways; random fill ≥ 96.5%% at 8KB, ≈ 100%% at 32KB")
 	return t
@@ -133,27 +138,32 @@ func Figure7(sc Scale) *Table {
 		{sim.KindNewcache, cache.Geometry{SizeBytes: 8 * 1024, Ways: 1}},
 		{sim.KindNewcache, cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}},
 	}
-	baselines := make([]float64, len(configs))
-	for i, c := range configs {
+	eng := sc.engine()
+	baselines := parexp.Map(eng, len(configs), func(i int) float64 {
+		cfg := sim.DefaultConfig()
+		cfg.L1 = configs[i].geom
+		cfg.L1Kind = configs[i].kind
+		cfg.Seed = sc.Seed
+		return runAES(cfg, sim.ThreadConfig{}, trace).IPC()
+	})
+	sizes := []int{1, 2, 4, 8, 16, 32}
+	// One work item per (size, config) cell, index-ordered back into rows.
+	cells := parexp.Map(eng, len(sizes)*len(configs), func(k int) float64 {
+		size, c := sizes[k/len(configs)], configs[k%len(configs)]
 		cfg := sim.DefaultConfig()
 		cfg.L1 = c.geom
 		cfg.L1Kind = c.kind
 		cfg.Seed = sc.Seed
-		baselines[i] = runAES(cfg, sim.ThreadConfig{}, trace).IPC()
-	}
-	for _, size := range []int{1, 2, 4, 8, 16, 32} {
+		tc := sim.ThreadConfig{}
+		if size > 1 {
+			tc = sim.ThreadConfig{Mode: sim.ModeRandomFill, Window: rng.Symmetric(size)}
+		}
+		return runAES(cfg, tc, trace).IPC()
+	})
+	for si, size := range sizes {
 		row := []string{fmt.Sprintf("%d", size)}
-		for i, c := range configs {
-			cfg := sim.DefaultConfig()
-			cfg.L1 = c.geom
-			cfg.L1Kind = c.kind
-			cfg.Seed = sc.Seed
-			tc := sim.ThreadConfig{}
-			if size > 1 {
-				tc = sim.ThreadConfig{Mode: sim.ModeRandomFill, Window: rng.Symmetric(size)}
-			}
-			res := runAES(cfg, tc, trace)
-			row = append(row, pct(res.IPC()/baselines[i]))
+		for i := range configs {
+			row = append(row, pct(cells[si*len(configs)+i]/baselines[i]))
 		}
 		t.AddRow(row...)
 	}

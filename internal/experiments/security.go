@@ -9,6 +9,7 @@ import (
 	"randfill/internal/infotheory"
 	"randfill/internal/mem"
 	"randfill/internal/newcache"
+	"randfill/internal/parexp"
 	"randfill/internal/rng"
 	"randfill/internal/sim"
 )
@@ -35,11 +36,10 @@ func t4Region() mem.Region {
 // vs c0^c1 over random-plaintext block encryptions against a demand-fetch
 // cache, with the minimum at k10_0 ^ k10_1.
 func Figure2(sc Scale) *Table {
-	a := attacks.NewCollision(attacks.CollisionConfig{
+	a := attacks.CollectSharded(sc.engine(), attacks.CollisionConfig{
 		Sim:  attackerSim(),
 		Seed: sc.Seed,
-	})
-	a.Collect(sc.Figure2Samples)
+	}, sc.Figure2Samples, parexp.Shards)
 	chart := a.TimingChart(0)
 	truth := a.TrueXor(0)
 
@@ -72,21 +72,21 @@ func Figure2(sc Scale) *Table {
 }
 
 // table3Cell runs one Table III cell: Monte Carlo P1-P2 plus the empirical
-// measurements-to-success search under the cap.
-func table3Cell(sc Scale, mk func(src *rng.Source) cache.Cache, kind sim.CacheKind, size int) (float64, attacks.SearchResult) {
-	mc := infotheory.MonteCarloP1P2(infotheory.P1P2Config{
+// measurements-to-success search under the cap, both sharded on eng.
+func table3Cell(sc Scale, eng *parexp.Engine, mk func(src *rng.Source) cache.Cache, kind sim.CacheKind, size int) (float64, attacks.SearchResult) {
+	mc := infotheory.MonteCarloP1P2Sharded(eng, infotheory.P1P2Config{
 		NewCache: mk,
 		Window:   rng.Symmetric(size),
 		Trials:   sc.MonteCarloTrials,
 		Region:   t4Region(),
 		Seed:     sc.Seed,
-	})
+	}, parexp.Shards)
 	cfg := attacks.CollisionConfig{Sim: attackerSim(), Seed: sc.Seed}
 	cfg.Sim.L1Kind = kind
 	if size > 1 {
 		cfg.Victim = sim.ThreadConfig{Mode: sim.ModeRandomFill, Window: rng.Symmetric(size)}
 	}
-	res := attacks.MeasurementsToSuccess(cfg, sc.AttackBatch, sc.AttackMaxSamples)
+	res := attacks.MeasurementsToSuccessSharded(eng, cfg, sc.AttackBatch, sc.AttackMaxSamples, parexp.Shards)
 	return mc.Diff(), res
 }
 
@@ -111,30 +111,61 @@ func Table3(sc Scale) *Table {
 			return newcache.New(32*1024, 4, src)
 		}},
 	}
-	for _, base := range bases {
-		for _, size := range []int{1, 2, 4, 8, 16, 32} {
-			diff, res := table3Cell(sc, base.mk, base.kind, size)
-			outcome := fmt.Sprintf("success (%d/15 pairs)", res.CorrectPairs)
-			meas := fmt.Sprintf("%d", res.Measurements)
-			if !res.Success {
-				outcome = fmt.Sprintf("no success after %d (best %d/15)",
-					res.Measurements, res.CorrectPairs)
-				meas = "-"
-			}
-			// Equation 5 with the observed sigma_T, the L1 miss
-			// penalty as tmiss-thit, and alpha = 0.99.
-			est := infotheory.MeasurementsRequired(diff, 19, res.SigmaT, 0.99)
-			estStr := "inf"
-			if !math.IsInf(est, 1) {
-				estStr = fmt.Sprintf("%.0f", est)
-			}
-			t.AddRow(base.name, fmt.Sprintf("%d", size),
-				fmt.Sprintf("%.3f", diff), meas, outcome, estStr)
+	sizes := []int{1, 2, 4, 8, 16, 32}
+	// All 12 cells run concurrently, each itself sharded; Map returns them
+	// in (base, size) order so the table rows are fixed regardless of which
+	// cell finishes first.
+	eng := sc.engine()
+	type cell struct {
+		diff float64
+		res  attacks.SearchResult
+	}
+	cells := parexp.Map(eng, len(bases)*len(sizes), func(i int) cell {
+		base := bases[i/len(sizes)]
+		diff, res := table3Cell(sc, eng, base.mk, base.kind, sizes[i%len(sizes)])
+		return cell{diff, res}
+	})
+	for i, c := range cells {
+		base, size := bases[i/len(sizes)], sizes[i%len(sizes)]
+		outcome := fmt.Sprintf("success (%d/15 pairs)", c.res.CorrectPairs)
+		meas := fmt.Sprintf("%d", c.res.Measurements)
+		if !c.res.Success {
+			outcome = fmt.Sprintf("no success after %d (best %d/15)",
+				c.res.Measurements, c.res.CorrectPairs)
+			meas = "-"
 		}
+		// Equation 5 with the observed sigma_T, the L1 miss
+		// penalty as tmiss-thit, and alpha = 0.99.
+		est := infotheory.MeasurementsRequired(c.diff, 19, c.res.SigmaT, 0.99)
+		estStr := "inf"
+		if !math.IsInf(est, 1) {
+			estStr = fmt.Sprintf("%.0f", est)
+		}
+		t.AddRow(base.name, fmt.Sprintf("%d", size),
+			fmt.Sprintf("%.3f", c.diff), meas, outcome, estStr)
 	}
 	t.AddNote("paper (SA): P1-P2 = 0.652/0.332/0.127/0.044/0.012/0.006; 65k/1.87M/16.7M measurements, no success >= size 8 after 2^24")
 	t.AddNote("paper (Newcache): P1-P2 = 0.576/0.292/0.119/0.045/0.016/0.007; 244k/2.1M, no success >= size 4 after 2^24")
 	t.AddNote("search cap: %d samples; Eq.5 column extrapolates with alpha=0.99, tmiss-thit=19 cycles (L2 hit - L1 hit)", sc.AttackMaxSamples)
+	return t
+}
+
+// Table3Cell runs one Table III cell in isolation — the SA-based random
+// fill cache at the given window size — and returns it as a one-row table.
+// It exists so benchmarks can time a single cell's sharded pipeline (Monte
+// Carlo + measurements-to-success search) across worker counts without
+// paying for the other eleven cells.
+func Table3Cell(sc Scale, size int) *Table {
+	mk := func(src *rng.Source) cache.Cache {
+		return cache.NewSetAssoc(cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}, cache.LRU{})
+	}
+	diff, res := table3Cell(sc, sc.engine(), mk, sim.KindSA, size)
+	t := &Table{
+		Title:   fmt.Sprintf("Table III cell: RandomFill+4-way SA, window %d", size),
+		Headers: []string{"P1-P2", "measurements", "success"},
+	}
+	t.AddRow(fmt.Sprintf("%.3f", diff), fmt.Sprintf("%d", res.Measurements),
+		fmt.Sprintf("%v", res.Success))
 	return t
 }
 

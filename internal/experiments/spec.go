@@ -5,6 +5,7 @@ import (
 
 	"randfill/internal/cache"
 	"randfill/internal/mem"
+	"randfill/internal/parexp"
 	"randfill/internal/prefetch"
 	"randfill/internal/rng"
 	"randfill/internal/sim"
@@ -40,11 +41,15 @@ func Figure8(sc Scale) *Table {
 		{SizeBytes: 16 * 1024, Ways: 1},
 		{SizeBytes: 32 * 1024, Ways: 4},
 	}
+	benches := workloads.All()
+	eng := sc.engine()
 	for _, g := range geoms {
-		var sums [5]float64
-		for _, bench := range workloads.All() {
+		g := g
+		// One work item per benchmark: five co-runs against this geometry.
+		rows := parexp.Map(eng, len(benches), func(i int) [5]float64 {
+			bench := benches[i]
 			base := smtRun(sc, g, sim.KindSA, sim.ThreadConfig{Owner: 1}, bench, crypto)
-			vals := []float64{
+			return [5]float64{
 				1,
 				smtRun(sc, g, sim.KindPLcache, sim.ThreadConfig{
 					Mode: sim.ModePreload, SecretRegions: allTables(), Owner: 1,
@@ -57,7 +62,10 @@ func Figure8(sc Scale) *Table {
 					Mode: sim.ModeRandomFill, Window: w, Owner: 1,
 				}, bench, crypto) / base,
 			}
-			row := []string{g.String(), bench.Name}
+		})
+		var sums [5]float64
+		for bi, vals := range rows {
+			row := []string{g.String(), benches[bi].Name}
 			for i, v := range vals {
 				sums[i] += v
 				row = append(row, pct(v))
@@ -66,7 +74,7 @@ func Figure8(sc Scale) *Table {
 		}
 		avg := []string{g.String(), "average"}
 		for _, s := range sums {
-			avg = append(avg, pct(s/float64(len(workloads.All()))))
+			avg = append(avg, pct(s/float64(len(benches))))
 		}
 		t.AddRow(avg...)
 	}
@@ -87,12 +95,16 @@ func Figure9(sc Scale) *Table {
 		Headers: headers,
 	}
 	geom := cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}
-	for _, bench := range workloads.All() {
-		p := workloads.SpatialProfile(bench.Gen(sc.SpecAccesses, sc.Seed), geom, 16, sc.Seed)
-		row := []string{bench.Name}
+	benches := workloads.All()
+	rows := parexp.Map(sc.engine(), len(benches), func(i int) []string {
+		p := workloads.SpatialProfile(benches[i].Gen(sc.SpecAccesses, sc.Seed), geom, 16, sc.Seed)
+		row := []string{benches[i].Name}
 		for _, d := range offsets {
 			row = append(row, fmt.Sprintf("%.2f", p.Eff(d)))
 		}
+		return row
+	})
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.AddNote("paper: most workloads have locality within ~4 lines; lbm and libquantum show wide forward locality")
@@ -120,7 +132,11 @@ func Figure10(sc Scale) *Table {
 		Title:   "Figure 10: L1 MPKI and normalized IPC vs random fill window",
 		Headers: headers,
 	}
-	for _, bench := range workloads.All() {
+	benches := workloads.All()
+	// One work item per benchmark: its full window sweep (the [0,0] column
+	// is the in-item baseline, so items stay self-contained).
+	rows := parexp.Map(sc.engine(), len(benches), func(bi int) [2][]string {
+		bench := benches[bi]
 		trace := bench.Gen(sc.SpecAccesses, sc.Seed)
 		mpkiRow := []string{bench.Name, "MPKI"}
 		ipcRow := []string{bench.Name, "IPC"}
@@ -139,8 +155,11 @@ func Figure10(sc Scale) *Table {
 			mpkiRow = append(mpkiRow, fmt.Sprintf("%.1f", res.MPKI()))
 			ipcRow = append(ipcRow, pct(res.IPC()/baseIPC))
 		}
-		t.AddRow(mpkiRow...)
-		t.AddRow(ipcRow...)
+		return [2][]string{mpkiRow, ipcRow}
+	})
+	for _, pair := range rows {
+		t.AddRow(pair[0]...)
+		t.AddRow(pair[1]...)
 	}
 	t.AddNote("paper: larger windows raise MPKI and lower IPC for narrow-locality benchmarks; lbm and libquantum improve (libquantum [0,15]: MPKI -31%%, IPC +57%%)")
 	return t
@@ -154,8 +173,9 @@ func Traffic(sc Scale) *Table {
 		Title:   "Section VII: traffic increase of random fill [0,15] vs demand fetch",
 		Headers: []string{"benchmark", "L2 traffic", "memory traffic"},
 	}
-	for _, name := range []string{"lbm", "libquantum"} {
-		bench, _ := workloads.ByName(name)
+	names := []string{"lbm", "libquantum"}
+	rows := parexp.Map(sc.engine(), len(names), func(i int) [2]float64 {
+		bench, _ := workloads.ByName(names[i])
 		trace := bench.Gen(sc.SpecAccesses, sc.Seed)
 
 		mBase := sim.New(sim.Config{Seed: sc.Seed})
@@ -166,9 +186,13 @@ func Traffic(sc Scale) *Table {
 			Mode: sim.ModeRandomFill, Window: rng.Window{A: 0, B: 15},
 		}, trace)
 
-		l2 := float64(mRF.L2Accesses())/float64(mBase.L2Accesses()) - 1
-		memT := float64(mRF.MemAccesses())/float64(mBase.MemAccesses()) - 1
-		t.AddRow(name, fmt.Sprintf("%+.1f%%", 100*l2), fmt.Sprintf("%+.1f%%", 100*memT))
+		return [2]float64{
+			float64(mRF.L2Accesses())/float64(mBase.L2Accesses()) - 1,
+			float64(mRF.MemAccesses())/float64(mBase.MemAccesses()) - 1,
+		}
+	})
+	for i, r := range rows {
+		t.AddRow(names[i], fmt.Sprintf("%+.1f%%", 100*r[0]), fmt.Sprintf("%+.1f%%", 100*r[1]))
 	}
 	t.AddNote("paper: L2 traffic +48%%/+56%%, memory traffic +0.03%%/+22%% for lbm/libquantum")
 	return t
@@ -182,8 +206,9 @@ func PrefetchComparison(sc Scale) *Table {
 		Title:   "Section VII: tagged prefetcher vs random fill on streaming benchmarks",
 		Headers: []string{"benchmark", "baseline", "tagged prefetcher", "random fill [0,15]"},
 	}
-	for _, name := range []string{"lbm", "libquantum"} {
-		bench, _ := workloads.ByName(name)
+	names := []string{"lbm", "libquantum"}
+	rows := parexp.Map(sc.engine(), len(names), func(i int) [3]float64 {
+		bench, _ := workloads.ByName(names[i])
 		trace := bench.Gen(sc.SpecAccesses, sc.Seed)
 
 		base := sim.New(sim.Config{Seed: sc.Seed}).RunTraceSteady(sim.ThreadConfig{}, trace)
@@ -196,7 +221,10 @@ func PrefetchComparison(sc Scale) *Table {
 			Mode: sim.ModeRandomFill, Window: rng.Window{A: 0, B: 15},
 		}, trace)
 
-		t.AddRow(name, "100.0%", pct(pf.IPC()/base.IPC()), pct(rf.IPC()/base.IPC()))
+		return [3]float64{base.IPC(), pf.IPC(), rf.IPC()}
+	})
+	for i, r := range rows {
+		t.AddRow(names[i], "100.0%", pct(r[1]/r[0]), pct(r[2]/r[0]))
 	}
 	t.AddNote("paper: tagged prefetcher +11%%/+26%%, random fill +17%%/+57%% for lbm/libquantum")
 	return t

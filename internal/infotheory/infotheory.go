@@ -12,6 +12,7 @@ import (
 	"randfill/internal/cache"
 	"randfill/internal/core"
 	"randfill/internal/mem"
+	"randfill/internal/parexp"
 	"randfill/internal/rng"
 )
 
@@ -118,15 +119,36 @@ type P1P2Config struct {
 	Seed uint64
 }
 
-// P1P2Result reports the Monte Carlo estimates.
+// P1P2Result reports the Monte Carlo estimates. It is mergeable: the raw
+// integer counts behind the ratios are carried so that shard estimates fold
+// together exactly (integer sums, no floating-point accumulation order),
+// which is what makes the sharded Table III worker-count invariant.
 type P1P2Result struct {
 	P1, P2 float64
 	// Pairs counted in each condition.
 	CollisionPairs, NoCollisionPairs uint64
+	// Hits counted in each condition (numerators of P1 and P2).
+	P1Hits, P2Hits uint64
 }
 
 // Diff returns P1 - P2, the attacker's signal.
 func (r P1P2Result) Diff() float64 { return r.P1 - r.P2 }
+
+// Merge folds other's trials into r, as if r's Monte Carlo run had
+// performed them itself, and recomputes the ratios from the summed counts.
+func (r *P1P2Result) Merge(other P1P2Result) {
+	r.CollisionPairs += other.CollisionPairs
+	r.NoCollisionPairs += other.NoCollisionPairs
+	r.P1Hits += other.P1Hits
+	r.P2Hits += other.P2Hits
+	r.P1, r.P2 = 0, 0
+	if r.CollisionPairs > 0 {
+		r.P1 = float64(r.P1Hits) / float64(r.CollisionPairs)
+	}
+	if r.NoCollisionPairs > 0 {
+		r.P2 = float64(r.P2Hits) / float64(r.NoCollisionPairs)
+	}
+}
 
 // MonteCarloP1P2 estimates P1 = P(xj hit | <xi> = <xj>) and
 // P2 = P(xj hit | <xi> != <xj>) averaged over all lookup pairs (i < j)
@@ -154,7 +176,6 @@ func MonteCarloP1P2(cfg P1P2Config) P1P2Result {
 	var lines = make([]mem.Line, lookups)
 
 	var res P1P2Result
-	var p1Hits, p2Hits uint64
 
 	var key, pt, ct [16]byte
 	for trial := 0; trial < cfg.Trials; trial++ {
@@ -179,22 +200,48 @@ func MonteCarloP1P2(cfg P1P2Config) P1P2Result {
 				if lines[i] == lines[j] {
 					res.CollisionPairs++
 					if hit[j] {
-						p1Hits++
+						res.P1Hits++
 					}
 				} else {
 					res.NoCollisionPairs++
 					if hit[j] {
-						p2Hits++
+						res.P2Hits++
 					}
 				}
 			}
 		}
 	}
 	if res.CollisionPairs > 0 {
-		res.P1 = float64(p1Hits) / float64(res.CollisionPairs)
+		res.P1 = float64(res.P1Hits) / float64(res.CollisionPairs)
 	}
 	if res.NoCollisionPairs > 0 {
-		res.P2 = float64(p2Hits) / float64(res.NoCollisionPairs)
+		res.P2 = float64(res.P2Hits) / float64(res.NoCollisionPairs)
+	}
+	return res
+}
+
+// MonteCarloP1P2Sharded splits cfg.Trials over a fixed shard plan, runs each
+// shard as an independent MonteCarloP1P2 with its own Split-derived seed on
+// eng's worker pool, and merges the shard counts in shard-index order. For a
+// fixed (cfg, shards) the result is identical for any worker count; it is a
+// different (equally valid) Monte Carlo sample than the serial
+// MonteCarloP1P2 at the same cfg.Seed, because the shards draw from split
+// streams.
+func MonteCarloP1P2Sharded(eng *parexp.Engine, cfg P1P2Config, shards int) P1P2Result {
+	if shards < 1 {
+		shards = 1
+	}
+	seeds := parexp.ShardSeeds(cfg.Seed, shards)
+	counts := parexp.SplitCounts(cfg.Trials, shards)
+	parts := parexp.Map(eng, shards, func(s int) P1P2Result {
+		scfg := cfg
+		scfg.Seed = seeds[s]
+		scfg.Trials = counts[s]
+		return MonteCarloP1P2(scfg)
+	})
+	res := parts[0]
+	for _, p := range parts[1:] {
+		res.Merge(p)
 	}
 	return res
 }

@@ -33,11 +33,21 @@ func New(seed uint64) *Source {
 // with different ids produce unrelated streams, letting subsystems share one
 // root seed without sharing a stream.
 func (s *Source) Split(id uint64) *Source {
+	return New(s.SplitSeed(id))
+}
+
+// SplitSeed derives the seed Split(id) would use without allocating the
+// child Source. It advances s by one draw, exactly like Split, so the two
+// forms are interchangeable draw-for-draw. Callers that fan work out across
+// shards (internal/parexp) use this to precompute a deterministic seed per
+// shard up front, so the shard streams are a pure function of the root seed
+// no matter which goroutine later consumes them.
+func (s *Source) SplitSeed(id uint64) uint64 {
 	// SplitMix64-style mixing of the current state with the id.
 	z := s.Uint64() + id*0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return New(z ^ (z >> 31))
+	return z ^ (z >> 31)
 }
 
 // Uint64 returns the next 64 pseudo-random bits.

@@ -53,6 +53,12 @@ func (r *Running) SampleVariance() float64 {
 func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
 
 // Merge folds other into r, as if all of other's samples had been Added.
+// Merging is commutative and associative up to floating-point rounding:
+// merge-of-shards equals sequential Add only to within a relative tolerance
+// (~1e-9 for the sample counts used here), because Welford updates and the
+// pairwise merge formula round differently. Anything that must be
+// byte-reproducible therefore fixes the merge ORDER (shard 0, 1, 2, ...),
+// which makes the result exact for a given shard plan.
 func (r *Running) Merge(other Running) {
 	if other.n == 0 {
 		return
@@ -79,6 +85,25 @@ func NewGrouped(n int) *Grouped { return &Grouped{groups: make([]Running, n)} }
 
 // Add adds sample x to group k.
 func (g *Grouped) Add(k int, x float64) { g.groups[k].Add(x) }
+
+// Merge folds other into g group by group, as if every sample of other had
+// been Added to g. It panics if the group counts differ (merging two
+// accumulators keyed by different alphabets is a bug, not data).
+func (g *Grouped) Merge(other *Grouped) {
+	if len(g.groups) != len(other.groups) {
+		panic(fmt.Sprintf("stats: merging Grouped with %d groups into %d groups",
+			len(other.groups), len(g.groups)))
+	}
+	for k := range g.groups {
+		g.groups[k].Merge(other.groups[k])
+	}
+}
+
+// Clone returns an independent deep copy of g. Shard merges use this to
+// build an aggregate without disturbing the per-shard accumulators.
+func (g *Grouped) Clone() *Grouped {
+	return &Grouped{groups: append([]Running(nil), g.groups...)}
+}
 
 // Len returns the number of groups.
 func (g *Grouped) Len() int { return len(g.groups) }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint ci bench experiments fuzz clean
+.PHONY: all build test test-short vet lint ci bench bench-json bench-compare profile experiments fuzz clean
 
 all: build lint test
 
@@ -29,6 +29,23 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Regenerate the committed perf baseline. The baseline uses the -short
+# kernel budgets because that is what CI's bench-smoke job re-measures;
+# ns/op is only comparable at identical budgets.
+bench-json:
+	$(GO) run ./cmd/rfbench -short -out BENCH.json -commit $$(git rev-parse HEAD)
+
+# Re-measure and diff against the committed baseline; exits nonzero on a
+# >20% ns/op regression (see ci.yml bench-smoke).
+bench-compare:
+	$(GO) run ./cmd/rfbench -short -compare BENCH.json -out /dev/null
+
+# Capture CPU and heap profiles of one Table III cell (the repo's primary
+# hot path); inspect with `go tool pprof cpu.prof`.
+profile:
+	$(GO) test -run '^$$' -bench 'Table3CellWorkers/1$$' -benchtime 1x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
 
 # Regenerate every table and figure at quick scale.
 experiments: build

@@ -10,14 +10,13 @@
 package randfill_test
 
 import (
+	"bytes"
+	"math/big"
 	"strconv"
 	"strings"
 	"testing"
 
-	"bytes"
-	"math/big"
 	"randfill/internal/aes"
-
 	"randfill/internal/attacks"
 	"randfill/internal/blowfish"
 	"randfill/internal/cache"

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"randfill/internal/experiments"
+	"randfill/internal/profiling"
 )
 
 func main() {
@@ -27,7 +28,16 @@ func main() {
 	mcTrials := flag.Int("mc-trials", 0, "override the Table3 Monte Carlo trial count")
 	workers := flag.Int("workers", 0, "parallel workers per experiment (0 = GOMAXPROCS); output is byte-identical for any value")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stop()
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -9,22 +9,23 @@ import (
 	"randfill/internal/experiments"
 )
 
-var update = flag.Bool("update", false, "rewrite the golden file from the current output")
+var update = flag.Bool("update", false, "rewrite the golden files from the current output")
 
-// TestEquation4QuickGolden pins the exact bytes `experiments -run equation4
-// -scale quick` prints for the table (the timing footer is wall-clock and is
-// not part of the contract). The golden file is the regression fence for the
-// whole stack under the experiment: AES tracing, the cache model, the fill
-// engine, the RNG stream layout, and the parallel engine's shard plan. It is
-// rendered at -workers 8 and must equal a -workers 1 rendering first — a
-// golden that depended on the worker count would be pinning scheduler noise.
+// testQuickGolden pins the exact bytes `experiments -run <name> -scale
+// quick` prints for the table (the timing footer is wall-clock and is not
+// part of the contract). The golden files are the regression fence for the
+// whole stack under each experiment: AES tracing, the cache model, the fill
+// engine, the RNG stream layout, and the parallel engine's shard plan. Each
+// is rendered at -workers 8 and must equal a -workers 1 rendering first — a
+// golden that depended on the worker count would be pinning scheduler
+// noise.
 //
 // Regenerate with `go test ./cmd/experiments -run Golden -update` after an
 // intentional change, and say why in the commit.
-func TestEquation4QuickGolden(t *testing.T) {
-	e, ok := experiments.ByName("Equation4")
+func testQuickGolden(t *testing.T, name, file string) {
+	e, ok := experiments.ByName(name)
 	if !ok {
-		t.Fatal("Equation4 not registered")
+		t.Fatalf("%s not registered", name)
 	}
 	sc := experiments.QuickScale()
 	sc.Workers = 1
@@ -32,10 +33,10 @@ func TestEquation4QuickGolden(t *testing.T) {
 	sc.Workers = 8
 	got := e.Run(sc).String()
 	if got != serial {
-		t.Fatalf("Equation4 differs between workers=1 and workers=8:\n%s\nvs\n%s", serial, got)
+		t.Fatalf("%s differs between workers=1 and workers=8:\n%s\nvs\n%s", name, serial, got)
 	}
 
-	golden := filepath.Join("testdata", "equation4_quick.golden")
+	golden := filepath.Join("testdata", file)
 	if *update {
 		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
 			t.Fatal(err)
@@ -46,6 +47,24 @@ func TestEquation4QuickGolden(t *testing.T) {
 		t.Fatalf("reading golden (run with -update to create it): %v", err)
 	}
 	if got != string(want) {
-		t.Errorf("Equation4 quick output drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+		t.Errorf("%s quick output drifted from golden:\n--- got ---\n%s--- want ---\n%s", name, got, want)
 	}
+}
+
+func TestEquation4QuickGolden(t *testing.T) {
+	testQuickGolden(t, "Equation4", "equation4_quick.golden")
+}
+
+// Figure5 is the security-side golden: the storage-channel capacity table
+// is a pure function of the window/region geometry, so any drift means the
+// capacity math changed.
+func TestFigure5QuickGolden(t *testing.T) {
+	testQuickGolden(t, "Figure5", "figure5_quick.golden")
+}
+
+// Figure7 is the performance-side golden: IPC of the AES-CBC workload
+// across random fill window sizes exercises the timing simulator's miss
+// queue, fill queue and prefetch-free demand path end to end.
+func TestFigure7QuickGolden(t *testing.T) {
+	testQuickGolden(t, "Figure7", "figure7_quick.golden")
 }

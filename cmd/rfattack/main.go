@@ -25,6 +25,7 @@ import (
 	"randfill/internal/mem"
 	"randfill/internal/modexp"
 	"randfill/internal/newcache"
+	"randfill/internal/profiling"
 	"randfill/internal/rng"
 	"randfill/internal/sim"
 )
@@ -36,7 +37,15 @@ func main() {
 	samples := flag.Int("samples", 100000, "measurement budget")
 	batch := flag.Int("batch", 4000, "collision attack success-check interval")
 	seed := flag.Uint64("seed", 42, "random seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
 
 	w, err := parseWindow(*window)
 	if err != nil {

@@ -1,0 +1,338 @@
+// Command rfbench is the repository's performance-regression harness: it
+// times a fixed set of named kernels — the hot paths behind the paper's
+// experiments — and writes the results as a schema'd BENCH.json, which can
+// be compared against a committed baseline to gate regressions.
+//
+// Examples:
+//
+//	rfbench                          # run all kernels, JSON to stdout
+//	rfbench -short -out BENCH.json   # CI smoke set, write baseline
+//	rfbench -short -compare BENCH.json       # exit 1 on >20% ns/op regression
+//	rfbench -kernels table3-cell,sim-replay  # subset
+//	rfbench -list                            # enumerate kernels
+//
+// Timing is delegated to testing.Benchmark, so kernels auto-scale their
+// iteration counts and report allocations exactly like `go test -bench`.
+// Performance methodology, including how the kernels were chosen, is in
+// DESIGN.md §7.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+
+	"randfill/internal/aes"
+	"randfill/internal/attacks"
+	"randfill/internal/cache"
+	"randfill/internal/experiments"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+	"randfill/internal/sim"
+)
+
+// Schema identifies the BENCH.json layout; bump on incompatible change.
+const Schema = "randfill-bench/v1"
+
+// Report is the top-level BENCH.json document.
+type Report struct {
+	Schema  string   `json:"schema"`
+	Commit  string   `json:"commit"`
+	Go      string   `json:"go"`
+	Kernels []Kernel `json:"kernels"`
+}
+
+// Kernel is one measured kernel.
+type Kernel struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// kernelDef names a benchmark kernel. The short flag selects the reduced
+// budget used by the CI smoke job; both budgets measure the same code
+// paths, the short one just bounds wall-clock.
+type kernelDef struct {
+	name string
+	desc string
+	run  func(short bool, b *testing.B)
+}
+
+func kernels() []kernelDef {
+	return []kernelDef{
+		{
+			name: "table3-cell",
+			desc: "one Table III cell: sharded Monte Carlo P1-P2 + measurements-to-success search (workers=1)",
+			run: func(short bool, b *testing.B) {
+				sc := experiments.QuickScale()
+				sc.Workers = 1
+				if short {
+					sc.MonteCarloTrials = 4000
+					sc.AttackMaxSamples = 1 << 13
+					sc.AttackBatch = 1 << 12
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tb := experiments.Table3Cell(sc, 2)
+					if len(tb.Rows) != 1 {
+						b.Fatal("bad cell table")
+					}
+				}
+			},
+		},
+		{
+			name: "collision-sweep",
+			desc: "final-round collision attack measurement loop (per-sample encrypt + replay + stats)",
+			run: func(short bool, b *testing.B) {
+				batch := 2000
+				if short {
+					batch = 500
+				}
+				cfg := attacks.CollisionConfig{Sim: sim.DefaultConfig(), Seed: 7}
+				cfg.Sim.MissQueue = 2
+				a := attacks.NewCollision(cfg)
+				a.Collect(8) // warm scratch buffers out of the timed region
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a.Collect(batch)
+				}
+			},
+		},
+		{
+			name: "sim-replay",
+			desc: "timing-simulator replay of an AES-CBC trace under a random fill window",
+			run: func(short bool, b *testing.B) {
+				bytes := 8 * 1024
+				if short {
+					bytes = 2 * 1024
+				}
+				src := rng.New(11)
+				var key, iv [16]byte
+				src.Bytes(key[:])
+				src.Bytes(iv[:])
+				pt := make([]byte, bytes)
+				src.Bytes(pt)
+				cipher, err := aes.New(key[:])
+				if err != nil {
+					b.Fatal(err)
+				}
+				tracer := &aes.Tracer{Cipher: cipher, Layout: aes.DefaultLayout()}
+				_, trace, err := tracer.EncryptCBC(pt, iv[:])
+				if err != nil {
+					b.Fatal(err)
+				}
+				machine := sim.New(sim.DefaultConfig())
+				thread := machine.NewThread(sim.ThreadConfig{
+					Mode:   sim.ModeRandomFill,
+					Window: rng.Symmetric(16),
+				})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for k := range trace {
+						thread.Step(trace[k])
+					}
+					thread.Drain()
+				}
+			},
+		},
+		{
+			name: "flushreload-probe",
+			desc: "Flush-Reload probe loop: flush, victim access, reload over the observable range",
+			run: func(short bool, b *testing.B) {
+				trials := 4000
+				if short {
+					trials = 1000
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := attacks.FlushReload(attacks.FlushReloadConfig{
+						NewCache: func(src *rng.Source) cache.Cache {
+							return cache.NewSetAssoc(cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}, cache.LRU{})
+						},
+						Window: rng.Symmetric(32),
+						Region: mem.Region{Base: 0x11000, Size: 1024},
+						Trials: trials,
+						Seed:   uint64(9 + i),
+					})
+					if res.Trials != trials {
+						b.Fatal("short flush-reload run")
+					}
+				}
+			},
+		},
+	}
+}
+
+func main() {
+	short := flag.Bool("short", false, "run the reduced CI smoke budgets")
+	out := flag.String("out", "", "write BENCH.json to this file (default stdout)")
+	compare := flag.String("compare", "", "baseline BENCH.json to diff against; regressions beyond -threshold exit nonzero")
+	threshold := flag.Float64("threshold", 20, "ns/op regression tolerance for -compare, in percent")
+	names := flag.String("kernels", "", "comma-separated kernel subset (default all)")
+	list := flag.Bool("list", false, "list kernels and exit")
+	commit := flag.String("commit", "", "commit hash to record (default from build info)")
+	flag.Parse()
+
+	defs := kernels()
+	if *list {
+		for _, k := range defs {
+			fmt.Printf("%-18s %s\n", k.name, k.desc)
+		}
+		return
+	}
+	if *names != "" {
+		defs = selectKernels(defs, strings.Split(*names, ","))
+	}
+
+	rep := Report{Schema: Schema, Commit: commitHash(*commit), Go: runtime.Version()}
+	for _, k := range defs {
+		def := k
+		fmt.Fprintf(os.Stderr, "running %s...\n", def.name)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			def.run(*short, b)
+		})
+		rep.Kernels = append(rep.Kernels, Kernel{
+			Name:        def.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	if err := emit(rep, *out); err != nil {
+		fatal(err)
+	}
+	if *compare != "" {
+		ok, err := compareBaseline(rep, *compare, *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}
+
+func selectKernels(defs []kernelDef, names []string) []kernelDef {
+	byName := func(n string) *kernelDef {
+		for i := range defs {
+			if defs[i].name == n {
+				return &defs[i]
+			}
+		}
+		return nil
+	}
+	var out []kernelDef
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		k := byName(n)
+		if k == nil {
+			fatal(fmt.Errorf("unknown kernel %q (see -list)", n))
+		}
+		out = append(out, *k)
+	}
+	return out
+}
+
+// commitHash resolves the commit to record: explicit flag, then the VCS
+// stamp the go tool embeds when building from a checkout, then "unknown"
+// (e.g. `go run` of a dirty tree with VCS stamping off).
+func commitHash(override string) string {
+	if override != "" {
+		return override
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+func emit(rep Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// compareBaseline prints a delta table of rep against the baseline file and
+// reports whether every kernel is within the ns/op regression threshold.
+// Kernels present on only one side are reported but never fail the gate
+// (adding a kernel must not require regenerating history first).
+func compareBaseline(rep Report, path string, thresholdPct float64) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("%s: %v", path, err)
+	}
+	if base.Schema != Schema {
+		return false, fmt.Errorf("%s: schema %q, want %q", path, base.Schema, Schema)
+	}
+	old := make(map[string]Kernel, len(base.Kernels))
+	for _, k := range base.Kernels {
+		old[k.Name] = k
+	}
+
+	fmt.Printf("comparing against %s (commit %s)\n", path, base.Commit)
+	fmt.Printf("%-18s %14s %14s %8s %12s\n", "kernel", "old ns/op", "new ns/op", "delta", "allocs/op")
+	ok := true
+	for _, k := range rep.Kernels {
+		o, found := old[k.Name]
+		if !found {
+			fmt.Printf("%-18s %14s %14.0f %8s %12d  (new kernel)\n", k.Name, "-", k.NsPerOp, "-", k.AllocsPerOp)
+			continue
+		}
+		delta := 100 * (k.NsPerOp - o.NsPerOp) / o.NsPerOp
+		verdict := ""
+		if delta > thresholdPct {
+			verdict = "  REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-18s %14.0f %14.0f %+7.1f%% %12d%s\n",
+			k.Name, o.NsPerOp, k.NsPerOp, delta, k.AllocsPerOp, verdict)
+	}
+	for _, k := range base.Kernels {
+		if _, found := findKernel(rep.Kernels, k.Name); !found {
+			fmt.Printf("%-18s %14.0f %14s %8s %12s  (not run)\n", k.Name, k.NsPerOp, "-", "-", "-")
+		}
+	}
+	if !ok {
+		fmt.Printf("FAIL: ns/op regression beyond %.0f%% tolerance\n", thresholdPct)
+	}
+	return ok, nil
+}
+
+func findKernel(ks []Kernel, name string) (Kernel, bool) {
+	for _, k := range ks {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rfbench:", err)
+	os.Exit(2)
+}

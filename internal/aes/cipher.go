@@ -20,27 +20,42 @@ const Rounds = 10
 
 // Cipher holds the expanded encryption and decryption key schedules.
 type Cipher struct {
-	enc    []uint32
-	dec    []uint32
-	rounds int
+	enc []uint32
+	// dec is the equivalent inverse cipher schedule, built lazily on first
+	// Decrypt: its InvMixColumns expansion costs ~40 gmul field
+	// multiplications per round key, which encryption-only workloads (the
+	// Monte Carlo analyses re-key per trial) should never pay.
+	dec      []uint32
+	decValid bool
+	rounds   int
 }
 
 // New expands a 16-, 24- or 32-byte key into a Cipher (AES-128/-192/-256).
 func New(key []byte) (*Cipher, error) {
-	var rounds int
+	c := &Cipher{}
+	if err := c.SetKey(key); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SetKey re-keys the cipher in place, reusing the schedule storage, so
+// per-trial re-keying loops do not allocate. It accepts the same key sizes
+// as New.
+func (c *Cipher) SetKey(key []byte) error {
 	switch len(key) {
 	case 16:
-		rounds = 10
+		c.rounds = 10
 	case 24:
-		rounds = 12
+		c.rounds = 12
 	case 32:
-		rounds = 14
+		c.rounds = 14
 	default:
-		return nil, fmt.Errorf("aes: invalid key size %d (want 16, 24 or 32)", len(key))
+		return fmt.Errorf("aes: invalid key size %d (want 16, 24 or 32)", len(key))
 	}
-	c := &Cipher{rounds: rounds}
+	c.decValid = false
 	c.expandKey(key)
-	return c, nil
+	return nil
 }
 
 // Rounds returns the cipher's round count (10, 12 or 14).
@@ -65,8 +80,10 @@ func imcWord(w uint32) uint32 {
 func (c *Cipher) expandKey(key []byte) {
 	nk := len(key) / 4
 	n := 4 * (c.rounds + 1)
-	c.enc = make([]uint32, n)
-	c.dec = make([]uint32, n)
+	if cap(c.enc) < n {
+		c.enc = make([]uint32, n)
+	}
+	c.enc = c.enc[:n]
 	for i := 0; i < nk; i++ {
 		c.enc[i] = binary.BigEndian.Uint32(key[4*i:])
 	}
@@ -80,8 +97,19 @@ func (c *Cipher) expandKey(key []byte) {
 		}
 		c.enc[i] = c.enc[i-nk] ^ t
 	}
-	// Equivalent inverse cipher key schedule: reverse round order and
-	// apply InvMixColumns to the inner round keys.
+}
+
+// decSchedule builds the equivalent inverse cipher key schedule on first
+// use: reverse round order and apply InvMixColumns to the inner round keys.
+func (c *Cipher) decSchedule() {
+	if c.decValid {
+		return
+	}
+	n := 4 * (c.rounds + 1)
+	if cap(c.dec) < n {
+		c.dec = make([]uint32, n)
+	}
+	c.dec = c.dec[:n]
 	for i := 0; i < n; i += 4 {
 		for j := 0; j < 4; j++ {
 			w := c.enc[n-4-i+j]
@@ -91,6 +119,7 @@ func (c *Cipher) expandKey(key []byte) {
 			c.dec[i+j] = w
 		}
 	}
+	c.decValid = true
 }
 
 // LastRoundKey returns the final round key as 16 bytes; the final-round
@@ -205,6 +234,7 @@ func (c *Cipher) Encrypt(dst, src []byte, rec Recorder) {
 func (c *Cipher) Decrypt(dst, src []byte, rec Recorder) {
 	_ = src[15]
 	_ = dst[15]
+	c.decSchedule()
 	s0 := binary.BigEndian.Uint32(src[0:]) ^ c.dec[0]
 	s1 := binary.BigEndian.Uint32(src[4:]) ^ c.dec[1]
 	s2 := binary.BigEndian.Uint32(src[8:]) ^ c.dec[2]

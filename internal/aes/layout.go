@@ -160,23 +160,43 @@ func (r *traceRec) bufferIO(base mem.Addr, off int, kind mem.Kind) {
 }
 
 // Tracer generates memory access traces for cipher executions under a given
-// layout.
+// layout. Use it by pointer: EncryptBlockInto keeps a persistent recorder
+// (a per-call recorder would escape through the Recorder interface).
 type Tracer struct {
 	Cipher *Cipher
 	Layout Layout
 	Opts   TraceOpts
+
+	rec traceRec
 }
 
 // EncryptBlock encrypts one block at buffer offset off and returns the
-// ciphertext together with the block's memory access trace.
+// ciphertext together with the block's memory access trace. The trace is
+// freshly allocated; measurement loops should use EncryptBlockInto with a
+// reused buffer instead.
 func (t *Tracer) EncryptBlock(src []byte, off int) ([BlockSize]byte, mem.Trace) {
-	rec := &traceRec{lay: t.Layout, opts: t.Opts.withDefaults()}
+	return t.EncryptBlockInto(nil, src, off)
+}
+
+// EncryptBlockInto is the allocation-free form of EncryptBlock: the block's
+// accesses are appended to buf (pass a recycled slice truncated to
+// length 0) and the grown slice is returned. The per-sample attack loops
+// call this once per encryption.
+func (t *Tracer) EncryptBlockInto(buf mem.Trace, src []byte, off int) ([BlockSize]byte, mem.Trace) {
+	rec := &t.rec
+	rec.lay = t.Layout
+	rec.opts = t.Opts.withDefaults()
+	rec.trace = buf
+	rec.stack = 0
+	rec.rkWord = 0
 	rec.bufferIO(t.Layout.Input, off, mem.Read)
 	rec.roundKeyReads(4) // initial AddRoundKey
 	var dst [BlockSize]byte
 	t.Cipher.Encrypt(dst[:], src, rec)
 	rec.bufferIO(t.Layout.Output, off, mem.Write)
-	return dst, rec.trace
+	out := rec.trace
+	rec.trace = nil
+	return dst, out
 }
 
 // EncryptCBC encrypts src in CBC mode and returns the ciphertext and the

@@ -15,11 +15,13 @@ import (
 //     draw sequences of every subsystem that touches it, so adding one
 //     draw anywhere reorders randomness everywhere — the classic way a
 //     refactor silently changes Table 3.
+//
 //  2. Within one function, the same *rng.Source must not be passed as an
 //     argument to two different calls. Two subsystems sharing one stream
 //     interleave their draws; derive independent streams with Split
 //     (src.Split(id)) so each subsystem's sequence is a pure function of
 //     the root seed.
+//
 //  3. A *rng.Source must not cross a goroutine boundary: neither captured
 //     free by a closure launched with `go` nor passed as a bare argument in
 //     a go statement. Concurrent draws race on the stream state, and even
@@ -27,7 +29,7 @@ import (
 //     depend on the scheduler. The sanctioned shapes construct the stream
 //     inside the goroutine or hand over a derived one:
 //
-//	go func(s *rng.Source) { ... }(src.Split(id))
+//     go func(s *rng.Source) { ... }(src.Split(id))
 type rngshare struct{}
 
 func (rngshare) Name() string { return "rngshare" }

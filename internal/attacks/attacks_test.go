@@ -359,3 +359,17 @@ func TestEvictTimeDefeatedByNewcache(t *testing.T) {
 		t.Errorf("evict-time signal %v against Newcache, want ≈ 0", res.Signal)
 	}
 }
+
+// TestCollectAllocFree pins the collision attack's per-sample measurement
+// loop at zero heap allocations once its scratch buffers are warm: each
+// sample reuses the tracer's recorder, the attack's trace buffer and the
+// thread's fill queue (see DESIGN.md §7).
+func TestCollectAllocFree(t *testing.T) {
+	a := NewCollision(CollisionConfig{Sim: attackerSim(), Seed: 7})
+	a.Collect(8) // warm the trace and fill-queue backing arrays
+	if got := testing.AllocsPerRun(50, func() {
+		a.Collect(1)
+	}); got != 0 {
+		t.Errorf("Collect: %v allocs/op, want 0", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"randfill/internal/aes"
+	"randfill/internal/mem"
 	"randfill/internal/plcache"
 	"randfill/internal/rng"
 	"randfill/internal/sim"
@@ -91,6 +92,10 @@ type Collision struct {
 	src     *rng.Source
 	layout  aes.Layout
 	warmups int
+	// trace is the recycled per-encryption access trace; Collect runs one
+	// encryption per sample, so buffer reuse keeps the sample loop
+	// allocation-free.
+	trace mem.Trace
 }
 
 // bytePair identifies one recovered XOR relation.
@@ -254,9 +259,9 @@ func (a *Collision) Collect(n int) {
 		a.warmups++
 		a.src.Bytes(pt[:])
 		a.cleanCache()
-		_, trace := a.tracer.EncryptBlock(pt[:], 0)
-		for i := range trace {
-			a.thread.Step(trace[i])
+		_, a.trace = a.tracer.EncryptBlockInto(a.trace[:0], pt[:], 0)
+		for i := range a.trace {
+			a.thread.Step(a.trace[i])
 		}
 		a.thread.Drain()
 	}
@@ -264,7 +269,8 @@ func (a *Collision) Collect(n int) {
 		a.src.Bytes(pt[:])
 		a.cleanCache()
 		start := a.thread.Cycle()
-		ct, trace := a.tracer.EncryptBlock(pt[:], 0)
+		ct, trace := a.tracer.EncryptBlockInto(a.trace[:0], pt[:], 0)
+		a.trace = trace
 		for i := range trace {
 			a.thread.Step(trace[i])
 		}

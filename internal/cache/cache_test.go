@@ -305,3 +305,27 @@ func TestMissRate(t *testing.T) {
 		t.Errorf("Accesses = %d", s.Accesses())
 	}
 }
+
+// TestLookupAllocFree pins the Lookup/Fill hot path at zero heap
+// allocations for every shipped replacement policy: the simulator calls
+// Lookup once per trace access (see DESIGN.md §7).
+func TestLookupAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy Policy
+	}{
+		{"lru", LRU{}},
+		{"fifo", FIFO{}},
+		{"random", Random{Src: rng.New(3)}},
+	} {
+		c := NewSetAssoc(Geometry{SizeBytes: 4096, Ways: 4}, tc.policy)
+		var l mem.Line
+		if got := testing.AllocsPerRun(1000, func() {
+			l += 13 // mix hits, misses, fills and evictions
+			c.Lookup(l%97, false)
+			c.Fill(l%97, FillOpts{})
+		}); got != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, got)
+		}
+	}
+}

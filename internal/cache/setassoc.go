@@ -6,7 +6,10 @@ import (
 	"randfill/internal/mem"
 )
 
-// line is the per-way state of the set-associative cache.
+// line is the per-way state of the set-associative cache. Replacement-policy
+// state lives in SetAssoc.stamps, a parallel array, so the policy can operate
+// on a contiguous per-set stamp slice without any copying (the stamp
+// double-copy used to dominate the Lookup profile; see DESIGN.md §7).
 type line struct {
 	tag        mem.Line // full line number (tag comparison uses the whole value)
 	valid      bool
@@ -15,7 +18,6 @@ type line struct {
 	locked     bool
 	owner      int
 	offset     int8
-	stamp      uint64 // replacement-policy state
 }
 
 // SetAssoc is a conventional set-associative cache with a pluggable
@@ -25,14 +27,16 @@ type SetAssoc struct {
 	geom   Geometry
 	sets   int
 	ways   int
-	lines  []line // sets*ways, row-major by set
+	lines  []line   // sets*ways, row-major by set
+	stamps []uint64 // replacement-policy state, parallel to lines
 	policy Policy
 	tick   uint64
 	stats  Stats
 	onEv   EvictionObserver
 
-	// scratch buffer reused by victim selection to avoid per-fill allocs
-	stampBuf []uint64
+	// isLRU devirtualizes the by-far-most-common policy on the touch and
+	// victim hot paths (identical results, no interface call).
+	isLRU bool
 }
 
 var _ Cache = (*SetAssoc)(nil)
@@ -46,13 +50,15 @@ func NewSetAssoc(geom Geometry, policy Policy) *SetAssoc {
 		policy = LRU{}
 	}
 	sets := geom.Sets()
+	_, isLRU := policy.(LRU)
 	return &SetAssoc{
-		geom:     geom,
-		sets:     sets,
-		ways:     geom.Ways,
-		lines:    make([]line, sets*geom.Ways),
-		policy:   policy,
-		stampBuf: make([]uint64, geom.Ways),
+		geom:   geom,
+		sets:   sets,
+		ways:   geom.Ways,
+		lines:  make([]line, sets*geom.Ways),
+		stamps: make([]uint64, sets*geom.Ways),
+		policy: policy,
+		isLRU:  isLRU,
 	}
 }
 
@@ -77,12 +83,17 @@ func (c *SetAssoc) SetEvictionObserver(fn EvictionObserver) { c.onEv = fn }
 // SetIndex returns the set index the line maps to.
 func (c *SetAssoc) SetIndex(l mem.Line) int { return int(uint64(l) & uint64(c.sets-1)) }
 
+// base returns the index of set idx's first way in the lines/stamps arrays.
+func (c *SetAssoc) base(idx int) int { return idx * c.ways }
+
 func (c *SetAssoc) set(idx int) []line { return c.lines[idx*c.ways : (idx+1)*c.ways] }
 
-// find returns the way holding line l in set s, or -1.
+// find returns the way holding line l in set s, or -1. The tag compares
+// first: on the hot path most ways mismatch, and the tag test alone rejects
+// them without loading the valid flag.
 func (c *SetAssoc) find(s []line, l mem.Line) int {
 	for w := range s {
-		if s[w].valid && s[w].tag == l {
+		if s[w].tag == l && s[w].valid {
 			return w
 		}
 	}
@@ -91,7 +102,8 @@ func (c *SetAssoc) find(s []line, l mem.Line) int {
 
 // Lookup implements Cache.
 func (c *SetAssoc) Lookup(l mem.Line, write bool) bool {
-	s := c.set(c.SetIndex(l))
+	base := c.base(c.SetIndex(l))
+	s := c.lines[base : base+c.ways]
 	w := c.find(s, l)
 	if w < 0 {
 		c.stats.Misses++
@@ -103,7 +115,7 @@ func (c *SetAssoc) Lookup(l mem.Line, write bool) bool {
 	if write {
 		s[w].dirty = true
 	}
-	c.touch(s, w, false)
+	c.touch(base, w, false)
 	return true
 }
 
@@ -112,19 +124,35 @@ func (c *SetAssoc) Probe(l mem.Line) bool {
 	return c.find(c.set(c.SetIndex(l)), l) >= 0
 }
 
-func (c *SetAssoc) touch(s []line, w int, fill bool) {
-	for i := range s {
-		c.stampBuf[i] = s[i].stamp
+// touch updates the replacement stamps of the set starting at base after an
+// access to way w. The policy operates on the stamps array directly.
+func (c *SetAssoc) touch(base, w int, fill bool) {
+	if c.isLRU {
+		c.stamps[base+w] = c.tick
+		return
 	}
-	c.policy.Touch(c.stampBuf, w, c.tick, fill)
-	for i := range s {
-		s[i].stamp = c.stampBuf[i]
+	c.policy.Touch(c.stamps[base:base+c.ways], w, c.tick, fill)
+}
+
+// victim selects the way to evict from the full set starting at base.
+func (c *SetAssoc) victim(base int) int {
+	stamps := c.stamps[base : base+c.ways]
+	if c.isLRU {
+		best := 0
+		for w := 1; w < len(stamps); w++ {
+			if stamps[w] < stamps[best] {
+				best = w
+			}
+		}
+		return best
 	}
+	return c.policy.Victim(stamps)
 }
 
 // Fill implements Cache.
 func (c *SetAssoc) Fill(l mem.Line, opts FillOpts) Victim {
-	s := c.set(c.SetIndex(l))
+	base := c.base(c.SetIndex(l))
+	s := c.lines[base : base+c.ways]
 	c.tick++
 	if w := c.find(s, l); w >= 0 {
 		// Refreshing an already-present line: update metadata only.
@@ -133,7 +161,7 @@ func (c *SetAssoc) Fill(l mem.Line, opts FillOpts) Victim {
 			s[w].locked = true
 			s[w].owner = opts.Owner
 		}
-		c.touch(s, w, true)
+		c.touch(base, w, true)
 		return Victim{}
 	}
 	c.stats.Fills++
@@ -147,10 +175,7 @@ func (c *SetAssoc) Fill(l mem.Line, opts FillOpts) Victim {
 	}
 	var v Victim
 	if w < 0 {
-		for i := range s {
-			c.stampBuf[i] = s[i].stamp
-		}
-		w = c.policy.Victim(c.stampBuf)
+		w = c.victim(base)
 		v = c.evict(s, w)
 	}
 	s[w] = line{
@@ -161,7 +186,8 @@ func (c *SetAssoc) Fill(l mem.Line, opts FillOpts) Victim {
 		owner:  opts.Owner,
 		offset: opts.Offset,
 	}
-	c.touch(s, w, true)
+	c.stamps[base+w] = 0
+	c.touch(base, w, true)
 	return v
 }
 

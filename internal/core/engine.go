@@ -65,6 +65,32 @@ type Request struct {
 	Offset int8
 }
 
+// Requests is the fixed-capacity request list a demand miss produces: one
+// demand entry (Normal or NoFill) plus at most one RandomFill. It is
+// returned by value so the miss path performs no heap allocation — OnMiss
+// runs millions of times per experiment cell.
+type Requests struct {
+	reqs [2]Request
+	n    int
+}
+
+// Len returns the number of requests (1 or 2).
+func (r Requests) Len() int { return r.n }
+
+// At returns request i in miss-queue arrival order (the demand request
+// first).
+func (r Requests) At(i int) Request {
+	if i >= r.n {
+		panic("core: Requests index out of range")
+	}
+	return r.reqs[i]
+}
+
+func (r *Requests) push(q Request) {
+	r.reqs[r.n] = q
+	r.n++
+}
+
 // Stats counts the engine's externally visible decisions.
 type Stats struct {
 	NormalFills   uint64 // demand fills issued (window [0,0])
@@ -141,13 +167,15 @@ func (e *Engine) Enabled() bool { return !e.gen.Window().Zero() }
 //
 // OnMiss only decides; it does not touch the cache. Use Access for the
 // combined functional behaviour.
-func (e *Engine) OnMiss(i mem.Line) []Request {
+func (e *Engine) OnMiss(i mem.Line) Requests {
+	var reqs Requests
 	if !e.Enabled() {
 		e.stats.NormalFills++
-		return []Request{{Type: Normal, Line: i}}
+		reqs.push(Request{Type: Normal, Line: i})
+		return reqs
 	}
 	e.stats.NoFills++
-	reqs := []Request{{Type: NoFill, Line: i}}
+	reqs.push(Request{Type: NoFill, Line: i})
 
 	off := e.gen.Offset()
 	if off < 0 && uint64(-off) > uint64(i) {
@@ -164,7 +192,7 @@ func (e *Engine) OnMiss(i mem.Line) []Request {
 		return reqs
 	}
 	e.stats.RandomIssued++
-	reqs = append(reqs, Request{Type: RandomFill, Line: j, Offset: clampOffset(off)})
+	reqs.push(Request{Type: RandomFill, Line: j, Offset: clampOffset(off)})
 	return reqs
 }
 
@@ -187,7 +215,9 @@ func (e *Engine) Access(line mem.Line, write bool) bool {
 	if e.cache.Lookup(line, write) {
 		return true
 	}
-	for _, r := range e.OnMiss(line) {
+	reqs := e.OnMiss(line)
+	for k := 0; k < reqs.Len(); k++ {
+		r := reqs.At(k)
 		switch r.Type {
 		case Normal:
 			e.cache.Fill(r.Line, cache.FillOpts{Dirty: write, Owner: e.owner})

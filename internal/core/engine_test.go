@@ -184,16 +184,16 @@ func TestSetWindowSyscallForms(t *testing.T) {
 func TestOnMissRequestShapes(t *testing.T) {
 	e := NewEngine(newSA(), rng.New(8))
 	reqs := e.OnMiss(42)
-	if len(reqs) != 1 || reqs[0].Type != Normal || reqs[0].Line != 42 {
+	if reqs.Len() != 1 || reqs.At(0).Type != Normal || reqs.At(0).Line != 42 {
 		t.Fatalf("demand mode OnMiss = %+v", reqs)
 	}
 	e.SetRR(8, 7)
 	reqs = e.OnMiss(1000)
-	if reqs[0].Type != NoFill || reqs[0].Line != 1000 {
-		t.Fatalf("random mode first request = %+v", reqs[0])
+	if reqs.At(0).Type != NoFill || reqs.At(0).Line != 1000 {
+		t.Fatalf("random mode first request = %+v", reqs.At(0))
 	}
-	if len(reqs) == 2 {
-		r := reqs[1]
+	if reqs.Len() == 2 {
+		r := reqs.At(1)
 		if r.Type != RandomFill {
 			t.Fatalf("second request type %v", r.Type)
 		}
@@ -201,6 +201,55 @@ func TestOnMissRequestShapes(t *testing.T) {
 		if d < -8 || d > 7 || int(r.Offset) != d {
 			t.Fatalf("random fill %+v offset mismatch d=%d", r, d)
 		}
+	}
+}
+
+func TestRequestsAtPanicsOutOfRange(t *testing.T) {
+	e := NewEngine(newSA(), rng.New(8))
+	reqs := e.OnMiss(42)
+	defer func() {
+		if recover() == nil {
+			t.Error("At(Len()) did not panic")
+		}
+	}()
+	reqs.At(reqs.Len())
+}
+
+// TestMissPathAllocFree pins the demand-miss kernel at zero heap
+// allocations: OnMiss, the full Access miss path, and the Access hit path
+// may not allocate, in any fill mode. These paths run millions of times per
+// Table III cell; a single alloc/op here is a measurable regression (see
+// DESIGN.md §7).
+func TestMissPathAllocFree(t *testing.T) {
+	c := newSA()
+	e := NewEngine(c, rng.New(8))
+	e.SetRR(8, 7)
+	var line mem.Line
+	if got := testing.AllocsPerRun(1000, func() {
+		line += 97 // stride through sets so hits and misses both occur
+		e.OnMiss(line)
+	}); got != 0 {
+		t.Errorf("OnMiss: %v allocs/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(1000, func() {
+		line += 131
+		e.Access(line, false)
+	}); got != 0 {
+		t.Errorf("Access (random fill, mixed hit/miss): %v allocs/op, want 0", got)
+	}
+	e.SetRR(0, 0)
+	if got := testing.AllocsPerRun(1000, func() {
+		line += 113
+		e.Access(line, false)
+	}); got != 0 {
+		t.Errorf("Access (demand fetch, miss path): %v allocs/op, want 0", got)
+	}
+	e.Access(7, false)
+	e.Access(7, false)
+	if got := testing.AllocsPerRun(1000, func() {
+		e.Access(7, false)
+	}); got != 0 {
+		t.Errorf("Access (hit path): %v allocs/op, want 0", got)
 	}
 }
 

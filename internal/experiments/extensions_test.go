@@ -210,8 +210,10 @@ func TestMissQueueSecurityShape(t *testing.T) {
 		t.Skip("attack sweep is slow")
 	}
 	sc := QuickScale()
-	sc.AttackMaxSamples = 1 << 14
-	sc.AttackBatch = 1 << 13
+	// 2^17 samples separates the three queue sizes decisively; at smaller
+	// budgets the pairs-recovered ordering is sampling luck.
+	sc.AttackMaxSamples = 1 << 17
+	sc.AttackBatch = 1 << 15
 	tb := MissQueueSecurity(sc)
 	if len(tb.Rows) != 3 {
 		t.Fatalf("%d rows", len(tb.Rows))

@@ -178,15 +178,19 @@ func MonteCarloP1P2(cfg P1P2Config) P1P2Result {
 	var res P1P2Result
 
 	var key, pt, ct [16]byte
+	// One cipher and one recorder serve all trials: SetKey re-keys in place
+	// and the index slice is truncated per trial, so the hot loop's only
+	// work is the key schedule and the traced final round.
+	cipher := &aes.Cipher{}
+	rec := &finalRoundRec{}
 	for trial := 0; trial < cfg.Trials; trial++ {
 		c.Flush()
 		keySrc.Bytes(key[:])
 		keySrc.Bytes(pt[:])
-		cipher, err := aes.New(key[:])
-		if err != nil {
+		if err := cipher.SetKey(key[:]); err != nil {
 			panic(err)
 		}
-		rec := &finalRoundRec{}
+		rec.idx = rec.idx[:0]
 		cipher.Encrypt(ct[:], pt[:], rec)
 
 		for k := 0; k < lookups && k < len(rec.idx); k++ {

@@ -7,6 +7,11 @@ package prefetch
 import "randfill/internal/mem"
 
 // Prefetcher observes L1 demand traffic and proposes background fills.
+//
+// The slices OnHit and OnMiss return are only valid until the next call on
+// the same Prefetcher: implementations may reuse one scratch buffer so the
+// per-access simulator path does not allocate. Callers must consume (or
+// copy) the lines before calling again.
 type Prefetcher interface {
 	// OnFill is called when a line is installed in the L1, with
 	// byPrefetch true for prefetcher-initiated fills.
@@ -27,6 +32,9 @@ type Tagged struct {
 	Degree int
 
 	tags map[mem.Line]bool
+	// buf is the scratch slice returned by next; see the Prefetcher
+	// interface comment for the reuse contract.
+	buf []mem.Line
 }
 
 // NewTagged returns a degree-1 tagged prefetcher.
@@ -39,10 +47,11 @@ func (t *Tagged) next(line mem.Line) []mem.Line {
 	if d <= 0 {
 		d = 1
 	}
-	out := make([]mem.Line, d)
-	for i := range out {
-		out[i] = line + mem.Line(i) + 1
+	out := t.buf[:0]
+	for i := 0; i < d; i++ {
+		out = append(out, line+mem.Line(i)+1)
 	}
+	t.buf = out
 	return out
 }
 

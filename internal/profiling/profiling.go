@@ -1,0 +1,57 @@
+// Package profiling wires the standard pprof CPU and heap profiles into the
+// CLIs (-cpuprofile/-memprofile). It exists so every command exposes the
+// flags with identical semantics; see DESIGN.md §7 for the profiling
+// workflow the flags support.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges for a
+// heap profile to be written to memPath (when non-empty). The returned stop
+// function finalizes both and must be called once, before process exit;
+// with both paths empty it is a no-op. Profile I/O errors after Start are
+// reported on stderr by stop rather than returned, since by then the
+// measured work has already run.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %v", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			return nil, fmt.Errorf("profiling: %v", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+		if memPath != "" {
+			writeHeapProfile(memPath)
+		}
+	}, nil
+}
+
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+		return
+	}
+	runtime.GC() // settle live-heap accounting before the snapshot
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+	}
+}

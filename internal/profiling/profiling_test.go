@@ -1,0 +1,46 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartNoop(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must be safe with no profiles requested
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	heap := filepath.Join(dir, "mem.prof")
+	stop, err := Start(cpu, heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := 0
+	for i := 0; i < 1000; i++ {
+		work += i * i
+	}
+	_ = work
+	stop()
+	for _, p := range []string{cpu, heap} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartRejectsBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "x.prof"), ""); err == nil {
+		t.Error("unwritable cpu profile path accepted")
+	}
+}

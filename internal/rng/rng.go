@@ -7,7 +7,22 @@
 // suggests a PRNG with a truly random seed). For reproducible experiments we
 // use a seeded xorshift64* generator; distinct subsystems derive independent
 // streams from a root seed via Split.
+//
+// # Stream version
+//
+// The byte stream produced by Bytes and Read is versioned: seeds are only
+// comparable across runs built from the same stream version.
+//
+//   - v1 drew one Uint64 per output byte (top byte of each draw).
+//   - v2 (current) consumes all 8 bytes of each Uint64 draw, little-endian,
+//     so filling n bytes costs ceil(n/8) draws instead of n. Single-byte
+//     draws via Byte are unchanged (one draw, top byte).
+//
+// Goldens and recorded experiment rows generated under v1 were regenerated
+// when v2 landed; Uint64/Intn/Float64/Byte consumers were unaffected.
 package rng
+
+import "encoding/binary"
 
 // Source is a deterministic pseudo-random number generator (xorshift64*).
 // The zero value is not valid; use New.
@@ -73,10 +88,20 @@ func (s *Source) Intn(n int) int {
 // Byte returns a uniform random byte.
 func (s *Source) Byte() byte { return byte(s.Uint64() >> 56) }
 
-// Bytes fills p with random bytes.
+// Bytes fills p with random bytes, consuming one Uint64 draw per 8 bytes
+// (little-endian; a final partial word uses the draw's low bytes). See the
+// package comment's stream-version note.
 func (s *Source) Bytes(p []byte) {
-	for i := range p {
-		p[i] = s.Byte()
+	for len(p) >= 8 {
+		binary.LittleEndian.PutUint64(p, s.Uint64())
+		p = p[8:]
+	}
+	if len(p) > 0 {
+		x := s.Uint64()
+		for i := range p {
+			p[i] = byte(x)
+			x >>= 8
+		}
 	}
 }
 

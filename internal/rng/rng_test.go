@@ -86,6 +86,47 @@ func TestIntnRoughlyUniform(t *testing.T) {
 	}
 }
 
+func TestBytesConsumesWholeWords(t *testing.T) {
+	// v2 stream contract (see the package comment): Bytes lays each Uint64
+	// draw out little-endian and consumes ceil(len(p)/8) draws total.
+	ref := New(17)
+	var words [3]uint64
+	for i := range words {
+		words[i] = ref.Uint64()
+	}
+	s := New(17)
+	var buf [20]byte
+	s.Bytes(buf[:])
+	for i := range buf {
+		if want := byte(words[i/8] >> (8 * (i % 8))); buf[i] != want {
+			t.Fatalf("buf[%d] = %#x, want %#x", i, buf[i], want)
+		}
+	}
+	advanced := New(17)
+	for i := 0; i < 3; i++ {
+		advanced.Uint64()
+	}
+	if s.Uint64() != advanced.Uint64() {
+		t.Error("Bytes(20 bytes) did not consume exactly 3 draws")
+	}
+}
+
+func TestReadMatchesBytes(t *testing.T) {
+	a, b := New(23), New(23)
+	p := make([]byte, 33)
+	q := make([]byte, 33)
+	a.Bytes(p)
+	n, err := b.Read(q)
+	if n != len(q) || err != nil {
+		t.Fatalf("Read = (%d, %v)", n, err)
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatalf("Read diverged from Bytes at %d", i)
+		}
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	s := New(5)
 	for i := 0; i < 10000; i++ {

@@ -118,12 +118,22 @@ type Thread struct {
 	// available; a Dependent access cannot issue before it.
 	dataReady float64
 	mshr      []mshrEntry
+	// inflight counts valid miss-queue entries, so the per-access retire
+	// scan can return immediately when nothing is outstanding.
+	inflight int
 	// fillQueue holds random-fill/prefetch requests waiting for a free
 	// miss-queue slot (the "random fill queue" of Figure 3, which waits
-	// for idle cycles).
+	// for idle cycles). It is a head-indexed ring: fillHead marks the next
+	// request to issue, and the slice is reset in place once drained, so
+	// steady-state enqueue/dequeue reuses one backing array instead of
+	// reslicing-and-appending fresh storage per request.
 	fillQueue []core.Request
+	fillHead  int
 	res       Result
 }
+
+// fillPending returns the number of queued background fills.
+func (t *Thread) fillPending() int { return len(t.fillQueue) - t.fillHead }
 
 // Engine returns the thread's random fill engine (to reprogram the window
 // mid-run, modelling the set_RR system call).
@@ -142,6 +152,9 @@ func (t *Thread) Result() Result {
 // retire completes every miss-queue entry finished by time now, applying
 // its L1 fill.
 func (t *Thread) retire(now float64) {
+	if t.inflight == 0 {
+		return
+	}
 	for i := range t.mshr {
 		e := &t.mshr[i]
 		if !e.valid || e.done > now {
@@ -165,6 +178,7 @@ func (t *Thread) retire(now float64) {
 			}
 		}
 		e.valid = false
+		t.inflight--
 	}
 }
 
@@ -221,6 +235,9 @@ func (t *Thread) trySlot() int {
 // pending reports whether line has an outstanding miss-queue entry, and its
 // index.
 func (t *Thread) pending(line mem.Line) int {
+	if t.inflight == 0 {
+		return -1
+	}
 	for i := range t.mshr {
 		if t.mshr[i].valid && t.mshr[i].line == line {
 			return i
@@ -232,7 +249,7 @@ func (t *Thread) pending(line mem.Line) int {
 // enqueueFill adds a background fill request to the fill queue, dropping it
 // if the queue is full (the queue depth comes from Config.FillQueueCap).
 func (t *Thread) enqueueFill(r core.Request) {
-	if len(t.fillQueue) >= t.machine.cfg.FillQueueCap {
+	if t.fillPending() >= t.machine.cfg.FillQueueCap {
 		return
 	}
 	t.fillQueue = append(t.fillQueue, r)
@@ -243,7 +260,7 @@ func (t *Thread) enqueueFill(r core.Request) {
 // whole miss queue, so a demand miss waits behind at most MissQueue-1
 // fills (standard MSHR reservation for demand traffic).
 func (t *Thread) serviceFills() {
-	for len(t.fillQueue) > 0 {
+	for t.fillPending() > 0 {
 		if len(t.mshr) > 1 {
 			bg := 0
 			for i := range t.mshr {
@@ -259,8 +276,8 @@ func (t *Thread) serviceFills() {
 		if slot < 0 {
 			return
 		}
-		r := t.fillQueue[0]
-		t.fillQueue = t.fillQueue[1:]
+		r := t.fillQueue[t.fillHead]
+		t.fillHead++
 		// Dropped if it hits in the tag array by now, or is already in
 		// flight. (The tag check is skipped under the ablation that
 		// keeps redundant fills.)
@@ -280,7 +297,11 @@ func (t *Thread) serviceFills() {
 			offset:     r.Offset,
 			prefetch:   r.Type == prefetchRequest,
 		}
+		t.inflight++
 	}
+	// Drained: rewind the ring so the backing array is reused.
+	t.fillQueue = t.fillQueue[:0]
+	t.fillHead = 0
 }
 
 // prefetchRequest is a core.RequestType value reserved for prefetcher
@@ -316,6 +337,7 @@ func (t *Thread) Step(a mem.Access) {
 			line:  line,
 			done:  t.cycle + float64(lat),
 		}
+		t.inflight++
 		if !write {
 			t.dataReady = t.mshr[slot].done
 		}
@@ -374,7 +396,9 @@ func (t *Thread) Step(a mem.Access) {
 		t.serviceFills()
 		return
 	}
-	for _, r := range t.engine.OnMiss(line) {
+	reqs := t.engine.OnMiss(line)
+	for k := 0; k < reqs.Len(); k++ {
+		r := reqs.At(k)
 		switch r.Type {
 		case core.Normal, core.NoFill:
 			slot := t.freeSlot()
@@ -386,6 +410,7 @@ func (t *Thread) Step(a mem.Access) {
 				fillL1: r.Type == core.Normal,
 				dirty:  write,
 			}
+			t.inflight++
 			if !write {
 				t.dataReady = t.mshr[slot].done
 			}

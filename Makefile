@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint ci bench bench-json bench-compare profile experiments fuzz clean
+.PHONY: all build test test-short vet lint ci cover bench bench-json bench-compare profile experiments fuzz clean
 
 all: build lint test
 
@@ -26,6 +26,12 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Statement-coverage gate (>= 80%) for the packages whose miss-path
+# semantics every experiment depends on: internal/hierarchy, internal/sim,
+# internal/core. CI runs the same script in its coverage job.
+cover:
+	sh scripts/cover.sh
 
 bench:
 	$(GO) test -bench=. -benchmem .

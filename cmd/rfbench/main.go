@@ -143,6 +143,48 @@ func kernels() []kernelDef {
 			},
 		},
 		{
+			name: "hierarchy-replay",
+			desc: "3-level hierarchy replay of an AES-CBC trace: random fill at L1 and L2, demand-fill L3",
+			run: func(short bool, b *testing.B) {
+				bytes := 8 * 1024
+				if short {
+					bytes = 2 * 1024
+				}
+				src := rng.New(13)
+				var key, iv [16]byte
+				src.Bytes(key[:])
+				src.Bytes(iv[:])
+				pt := make([]byte, bytes)
+				src.Bytes(pt)
+				cipher, err := aes.New(key[:])
+				if err != nil {
+					b.Fatal(err)
+				}
+				tracer := &aes.Tracer{Cipher: cipher, Layout: aes.DefaultLayout()}
+				_, trace, err := tracer.EncryptCBC(pt, iv[:])
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := sim.DefaultConfig()
+				cfg.Levels = []sim.LevelConfig{
+					{Geom: cache.Geometry{SizeBytes: 256 * 1024, Ways: 8}, HitLat: 12, Window: rng.Window{A: 8, B: 7}},
+					{Geom: cache.Geometry{SizeBytes: 2 * 1024 * 1024, Ways: 16}, HitLat: 40},
+				}
+				machine := sim.New(cfg)
+				thread := machine.NewThread(sim.ThreadConfig{
+					Mode:   sim.ModeRandomFill,
+					Window: rng.Symmetric(16),
+				})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for k := range trace {
+						thread.Step(trace[k])
+					}
+					thread.Drain()
+				}
+			},
+		},
+		{
 			name: "flushreload-probe",
 			desc: "Flush-Reload probe loop: flush, victim access, reload over the observable range",
 			run: func(short bool, b *testing.B) {

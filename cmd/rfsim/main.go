@@ -34,6 +34,11 @@ func main() {
 	ways := flag.Int("ways", 4, "L1 associativity")
 	l1kind := flag.String("l1kind", "sa", "L1 architecture: sa, newcache, plcache, rpcache, nomo")
 	window := flag.String("window", "0,0", "random fill window as 'a,b' meaning [i-a, i+b]")
+	l2window := flag.String("l2window", "0,0", "random fill window at the L2 ('a,b'; 0,0 = demand fill)")
+	l3size := flag.Int("l3", 0, "add an L3 of this size in bytes (0 = two-level hierarchy)")
+	l3ways := flag.Int("l3ways", 16, "L3 associativity")
+	l3lat := flag.Uint64("l3lat", 40, "L3 hit latency in cycles")
+	l3window := flag.String("l3window", "0,0", "random fill window at the L3 ('a,b'; requires -l3)")
 	mode := flag.String("mode", "", "fill mode override: demand, randomfill, disable, preload")
 	mshrs := flag.Int("mshrs", 4, "miss queue entries")
 	accesses := flag.Int("n", 500000, "benchmark trace length (ignored for aes)")
@@ -48,11 +53,29 @@ func main() {
 		fatal(err)
 	}
 
+	w2, err := parseWindow(*l2window)
+	if err != nil {
+		fatal(err)
+	}
+	w3, err := parseWindow(*l3window)
+	if err != nil {
+		fatal(err)
+	}
+
 	cfg := sim.DefaultConfig()
 	cfg.L1 = cache.Geometry{SizeBytes: *l1size, Ways: *ways}
 	cfg.L1Kind = sim.CacheKind(*l1kind)
 	cfg.MissQueue = *mshrs
 	cfg.Seed = *seed
+	cfg.L2Window = w2
+	if *l3size > 0 {
+		cfg.Levels = []sim.LevelConfig{
+			{Geom: cfg.L2, HitLat: cfg.L2HitLat, Window: w2},
+			{Geom: cache.Geometry{SizeBytes: *l3size, Ways: *l3ways}, HitLat: *l3lat, Window: w3},
+		}
+	} else if !w3.Zero() {
+		fatal(fmt.Errorf("-l3window requires -l3"))
+	}
 
 	tc := sim.ThreadConfig{}
 	switch *mode {
@@ -118,7 +141,19 @@ func main() {
 	fmt.Printf("random fills:   %d\n", res.RandomFills)
 	fmt.Printf("prefetches:     %d\n", res.Prefetches)
 	fmt.Printf("stall cycles:   %.0f (%.1f%%)\n", res.StallCycles, 100*res.StallCycles/res.Cycles)
-	fmt.Printf("L2 accesses:    %d (misses to memory: %d)\n", m.L2Accesses(), m.MemAccesses())
+	h := m.Hierarchy()
+	for k := 1; k < h.Depth(); k++ {
+		lvl := h.Level(k)
+		s := lvl.Stats()
+		fmt.Printf("L%d:             %d accesses, %d hits, %d misses, %d wb-in (%d allocated)",
+			k+1, s.Accesses, s.Hits, s.Misses, s.WritebacksIn, s.WritebackAllocs)
+		if fs := lvl.FillStats(); fs != nil {
+			fmt.Printf(", rf issued/dropped/clamped %d/%d/%d",
+				fs.RandomIssued, fs.RandomDropped, fs.RandomClamped)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("memory:         %d fetches, %d write-backs\n", h.MemAccesses(), h.MemWritebacks())
 }
 
 func parseWindow(s string) (rng.Window, error) {

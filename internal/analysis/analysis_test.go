@@ -76,6 +76,7 @@ func TestCheckerCorpus(t *testing.T) {
 		{"rngshare", "rngshare"},
 		{"errcheckio", "errcheck-io"},
 		{"ctindex", "ctindex"},
+		{"sim", "simlayer"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -6,6 +6,7 @@
 //   - rngshare:    rng streams are threaded, never ambiently shared
 //   - errcheck-io: experiment I/O errors must not be dropped
 //   - ctindex:     only designated victim packages may index by secrets
+//   - simlayer:    internal/sim constructs caches only in level builders
 //
 // See each checker's Doc for the precise rule and its rationale.
 package checkers
@@ -27,6 +28,7 @@ func All() []analysis.Analyzer {
 		rngshare{},
 		errcheckIO{},
 		ctindex{},
+		simlayer{},
 	}
 }
 

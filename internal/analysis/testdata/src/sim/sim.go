@@ -1,0 +1,48 @@
+// Package sim seeds violations for the simlayer checker: the directory is
+// named "sim" so the synthetic corpus path testpkg/sim matches the
+// checker's package scope, standing in for randfill/internal/sim. Concrete
+// cache constructors are only allowed inside functions named build*.
+package sim
+
+import (
+	"randfill/internal/cache"
+	"randfill/internal/newcache"
+	"randfill/internal/nomo"
+	"randfill/internal/plcache"
+	"randfill/internal/rng"
+	"randfill/internal/rpcache"
+)
+
+// Level builders may construct any concrete architecture.
+func buildSA(geom cache.Geometry) cache.Cache {
+	return cache.NewSetAssoc(geom, cache.LRU{})
+}
+
+func buildSecureStack(geom cache.Geometry, src *rng.Source) []cache.Cache {
+	return []cache.Cache{
+		newcache.New(geom.SizeBytes, 4, src),
+		plcache.New(geom),
+		rpcache.New(geom, src),
+		nomo.New(geom, 2, 1),
+	}
+}
+
+// Wiring code must go through the builders instead.
+func wireMachine(geom cache.Geometry, src *rng.Source) cache.Cache {
+	l2 := cache.NewSetAssoc(geom, cache.LRU{}) // want "outside a level builder"
+	_ = newcache.New(geom.SizeBytes, 4, src)   // want "outside a level builder"
+	_ = plcache.New(geom)                      // want "outside a level builder"
+	_ = rpcache.New(geom, src)                 // want "outside a level builder"
+	_ = nomo.New(geom, 2, 1)                   // want "outside a level builder"
+	return l2
+}
+
+// Non-constructor calls into the cache packages stay legal anywhere.
+func probeAll(c cache.Cache) bool {
+	return c.Probe(1) && c.Lookup(2, false)
+}
+
+// Same-name functions from unrelated packages are not constructors.
+func newUnrelated() int { return localNew() }
+
+func localNew() int { return 1 }

@@ -163,6 +163,7 @@ func All() []Experiment {
 		{"AblationMissQueue", "miss queue (MSHR) entries", AblationMissQueue},
 		{"AblationDropOnHit", "drop-if-present tag check", AblationDropOnHit},
 		{"AblationL2RandomFill", "random fill at L1 only vs L1+L2", AblationL2RandomFill},
+		{"Hierarchy3", "3-level hierarchy: which levels run random fill", Hierarchy3},
 		{"ConstantTime", "constant-time defenses vs random fill on AES", ConstantTime},
 		{"InformingDoS", "informing-loads DoS amplification under an evicting co-runner", InformingDoS},
 		{"AdaptiveWindow", "phase-adaptive window selection (the paper's future work)", AdaptiveWindow},

@@ -42,7 +42,8 @@ func TestRegistry(t *testing.T) {
 	names := []string{"Figure2", "Table3", "Figure5", "Figure6", "Figure7",
 		"Figure8", "Figure9", "Figure10", "Traffic", "Prefetch", "Defenses",
 		"AblationWindowShape", "AblationFillQueue", "AblationMissQueue",
-		"AblationDropOnHit", "AblationL2RandomFill", "ConstantTime",
+		"AblationDropOnHit", "AblationL2RandomFill", "Hierarchy3",
+		"ConstantTime",
 		"InformingDoS", "AdaptiveWindow", "Equation4", "MissQueueSecurity"}
 	if len(All()) != len(names) {
 		t.Fatalf("registry has %d experiments, want %d", len(All()), len(names))

@@ -1,9 +1,11 @@
 // Package sim is the timing simulator the experiments run on: a trace-driven
-// model of a 4-wide out-of-order processor with a two-level non-blocking
-// write-back cache hierarchy, reproducing the paper's gem5 configuration
-// (Table IV) at the granularity the experiments need — hit/miss behaviour,
-// miss-queue (MSHR) occupancy and merging, fill policies, and SMT
-// co-execution.
+// model of a 4-wide out-of-order processor with an N-level non-blocking
+// write-back cache hierarchy (two levels in the paper's gem5 configuration,
+// Table IV), reproducing the evaluation at the granularity the experiments
+// need — hit/miss behaviour, miss-queue (MSHR) occupancy and merging,
+// per-level fill policies, and SMT co-execution. The hierarchy itself (levels
+// below the L1, the uniform miss path, cross-level write-back) is
+// internal/hierarchy; this package adds the processor and thread model.
 //
 // The model is deliberately simple and documented in DESIGN.md: instruction
 // issue costs 1/IssueWidth cycles per instruction; independent misses
@@ -74,7 +76,16 @@ type Config struct {
 	// as well: an L2 miss forwards the line upward without installing it
 	// and installs a random neighbor within the window instead (the
 	// "both L1 and L2 are random fill caches" variant of Section VI).
+	// Ignored when Levels is set.
 	L2Window rng.Window
+
+	// Levels, when non-empty, replaces the single L2 with an explicit
+	// stack of cache levels below the L1 (nearest the L1 first), each a
+	// set-associative LRU cache with its own hit latency and optional
+	// random fill window. When empty, the classic L2/L2HitLat/L2Window
+	// fields define a single below-L1 level, which keeps the historical
+	// two-level RNG stream layout byte-identical.
+	Levels []LevelConfig
 
 	// IssueWidth is the processor issue width (Table IV: 4-way OoO).
 	IssueWidth int
@@ -137,7 +148,36 @@ func (c Config) withDefaults() Config {
 	if c.FillQueueCap == 0 {
 		c.FillQueueCap = 64
 	}
+	for i := range c.Levels {
+		if c.Levels[i].Geom.SizeBytes == 0 {
+			c.Levels[i].Geom = d.L2
+		}
+		if c.Levels[i].HitLat == 0 {
+			c.Levels[i].HitLat = d.L2HitLat
+		}
+	}
 	return c
+}
+
+// LevelConfig describes one cache level below the L1 (see Config.Levels).
+type LevelConfig struct {
+	// Geom is the level's set-associative geometry (LRU replacement).
+	Geom cache.Geometry
+	// HitLat is the latency charged when a request reaches this level.
+	HitLat uint64
+	// Window, when non-zero, runs the random fill policy at this level
+	// through a full core.Engine (nofill forwarding, drop-if-present,
+	// underflow clamping, drop stats).
+	Window rng.Window
+}
+
+// belowL1 returns the configured below-L1 level stack: Levels when set,
+// otherwise the classic single L2.
+func (c Config) belowL1() []LevelConfig {
+	if len(c.Levels) > 0 {
+		return c.Levels
+	}
+	return []LevelConfig{{Geom: c.L2, HitLat: c.L2HitLat, Window: c.L2Window}}
 }
 
 // buildL1 constructs the configured L1 cache.
@@ -146,11 +186,11 @@ func (c Config) buildL1(src *rng.Source) cache.Cache {
 	case KindSA:
 		return cache.NewSetAssoc(c.L1, cache.PolicyByName(c.L1Policy, src))
 	case KindNewcache:
-		return newcacheBuild(c.L1.SizeBytes, c.ExtraBits, src)
+		return buildNewcache(c.L1.SizeBytes, c.ExtraBits, src)
 	case KindPLcache:
-		return plcacheBuild(c.L1)
+		return buildPLcache(c.L1)
 	case KindRPcache:
-		return rpcacheBuild(c.L1, src)
+		return buildRPcache(c.L1, src)
 	case KindNoMo:
 		threads, reserved := c.NoMoThreads, c.NoMoReserved
 		if threads == 0 {
@@ -159,7 +199,7 @@ func (c Config) buildL1(src *rng.Source) cache.Cache {
 		if reserved == 0 {
 			reserved = 1
 		}
-		return nomoBuild(c.L1, threads, reserved)
+		return buildNoMo(c.L1, threads, reserved)
 	default:
 		panic(fmt.Sprintf("sim: unknown L1 cache kind %q", c.L1Kind))
 	}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"randfill/internal/cache"
+	"randfill/internal/core"
+	"randfill/internal/hierarchy"
+	"randfill/internal/newcache"
+	"randfill/internal/nomo"
+	"randfill/internal/plcache"
+	"randfill/internal/rng"
+	"randfill/internal/rpcache"
+)
+
+// This file is the only place internal/sim may construct concrete caches:
+// the rflint "simlayer" checker rejects direct constructor calls outside
+// functions named build*, keeping the rest of the simulator programmed
+// against cache.Cache and hierarchy.Level. It also keeps the build graph
+// one-way: sim depends on the cache architectures, never the reverse.
+
+func buildNewcache(size, extraBits int, src *rng.Source) cache.Cache {
+	return newcache.New(size, extraBits, src)
+}
+
+func buildPLcache(geom cache.Geometry) cache.Cache {
+	return plcache.New(geom)
+}
+
+func buildRPcache(geom cache.Geometry, src *rng.Source) cache.Cache {
+	return rpcache.New(geom, src)
+}
+
+func buildNoMo(geom cache.Geometry, threads, reserved int) cache.Cache {
+	return nomo.New(geom, threads, reserved)
+}
+
+// buildLevels constructs the machine's full level stack from cfg, drawing
+// per-level randomness from root. Stream-compatibility rule (DESIGN.md §8):
+// the L1 build always consumes root.Split(1); below-L1 level k (hierarchy
+// index k, so the L2 is k=1) consumes root.Split(1+k) — but ONLY when its
+// window is non-zero, in increasing k order. Demand-fill levels draw
+// nothing. This reproduces the historical two-level stream layout exactly
+// (L1 = Split(1), L2 window generator = Split(2) only when configured), so
+// thread streams (Split(100+i)) land on the same root draws as before the
+// hierarchy refactor.
+func buildLevels(cfg Config, root *rng.Source) []*hierarchy.Level {
+	levels := []*hierarchy.Level{
+		hierarchy.NewLevel(cfg.buildL1(root.Split(1)), cfg.L1HitLat),
+	}
+	for k, lc := range cfg.belowL1() {
+		c := cache.NewSetAssoc(lc.Geom, cache.LRU{})
+		lvl := hierarchy.NewLevel(c, lc.HitLat)
+		if !lc.Window.Zero() {
+			e := core.NewEngine(c, root.Split(uint64(2+k)))
+			e.SetRR(lc.Window.A, lc.Window.B)
+			lvl.WithEngine(e)
+		}
+		levels = append(levels, lvl)
+	}
+	return levels
+}

@@ -2,133 +2,83 @@ package sim
 
 import (
 	"randfill/internal/cache"
+	"randfill/internal/core"
+	"randfill/internal/hierarchy"
 	"randfill/internal/mem"
-	"randfill/internal/newcache"
-	"randfill/internal/nomo"
 	"randfill/internal/plcache"
 	"randfill/internal/prefetch"
 	"randfill/internal/rng"
-	"randfill/internal/rpcache"
 )
 
-// Indirection points so config.go does not import the concrete secure-cache
-// packages directly (keeps the build graph one-way: sim depends on the
-// cache architectures, never the reverse).
-func newcacheBuild(size, extraBits int, src *rng.Source) cache.Cache {
-	return newcache.New(size, extraBits, src)
-}
-
-func plcacheBuild(geom cache.Geometry) cache.Cache {
-	return plcache.New(geom)
-}
-
-func rpcacheBuild(geom cache.Geometry, src *rng.Source) cache.Cache {
-	return rpcache.New(geom, src)
-}
-
-func nomoBuild(geom cache.Geometry, threads, reserved int) cache.Cache {
-	return nomo.New(geom, threads, reserved)
-}
-
-// Machine is one simulated core (possibly SMT) with a private L1 data
-// cache, a unified L2, and a DRAM latency model. Threads are created with
-// NewThread and share the L1 and L2.
+// Machine is one simulated core (possibly SMT) over an N-level cache
+// hierarchy (by default the Table IV two-level configuration: a private L1
+// data cache, a unified L2, and a DRAM latency model). Threads are created
+// with NewThread and share every level. The machine owns levels 1..N-1
+// through an internal/hierarchy.Hierarchy with one uniform miss path; the
+// L1 (level 0) is driven by the per-thread fill engines, which model MSHR
+// occupancy and the random fill queue.
 type Machine struct {
 	cfg     Config
 	root    *rng.Source
-	l1      cache.Cache
-	l2      *cache.SetAssoc
+	hier    *hierarchy.Hierarchy
 	threads []*Thread
 
 	// Prefetcher, if set, observes L1 demand traffic and injects
 	// prefetch fills (Section VII's tagged-prefetcher comparison).
 	Prefetcher prefetch.Prefetcher
-
-	// l2gen, when non-nil, applies random fill at the L2 (Config.L2Window).
-	l2gen *rng.WindowGenerator
-
-	// Traffic counters, shared across threads.
-	l2Accesses  uint64 // requests arriving at L2 (demand + random fill + prefetch)
-	l2Misses    uint64 // of those, L2 misses (= memory accesses)
-	memAccesses uint64
-	writebacks  uint64 // dirty L1 victims written back to the L2
 }
 
 // New builds a machine from cfg (zero fields take Table IV defaults).
 func New(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
 	root := rng.New(cfg.Seed)
-	m := &Machine{
+	return &Machine{
 		cfg:  cfg,
 		root: root,
-		l1:   cfg.buildL1(root.Split(1)),
-		l2:   cache.NewSetAssoc(cfg.L2, cache.LRU{}),
+		hier: hierarchy.New(cfg.MemLat, buildLevels(cfg, root)...),
 	}
-	if !cfg.L2Window.Zero() {
-		m.l2gen = rng.NewWindowGenerator(root.Split(2))
-		m.l2gen.SetWindow(cfg.L2Window)
-	}
-	return m
 }
 
 // Config returns the machine's (defaulted) configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// L1 returns the L1 data cache.
-func (m *Machine) L1() cache.Cache { return m.l1 }
+// Hierarchy returns the machine's cache hierarchy, for per-level stats and
+// direct level inspection.
+func (m *Machine) Hierarchy() *hierarchy.Hierarchy { return m.hier }
 
-// L2 returns the unified L2 cache.
-func (m *Machine) L2() *cache.SetAssoc { return m.l2 }
+// L1 returns the L1 data cache.
+func (m *Machine) L1() cache.Cache { return m.hier.Level(0).Cache }
+
+// L2 returns the first cache level below the L1.
+func (m *Machine) L2() cache.Cache { return m.hier.Level(1).Cache }
 
 // L2Accesses returns the number of requests that reached the L2.
-func (m *Machine) L2Accesses() uint64 { return m.l2Accesses }
+func (m *Machine) L2Accesses() uint64 { return m.hier.Level(1).Stats().Accesses }
 
-// MemAccesses returns the number of requests that reached memory.
-func (m *Machine) MemAccesses() uint64 { return m.memAccesses }
+// L2FillStats returns the L2 random fill engine's decision counters
+// (nofills, random fills issued/dropped/clamped), or nil when the L2
+// demand-fills (Config.L2Window zero).
+func (m *Machine) L2FillStats() *core.Stats { return m.hier.Level(1).FillStats() }
+
+// MemAccesses returns the number of fetch requests that reached memory.
+func (m *Machine) MemAccesses() uint64 { return m.hier.MemAccesses() }
 
 // Writebacks returns the number of dirty L1 victims written back to the L2.
-func (m *Machine) Writebacks() uint64 { return m.writebacks }
+func (m *Machine) Writebacks() uint64 { return m.hier.Level(1).Stats().WritebacksIn }
 
-// fillL1 installs a line in the L1 on behalf of a thread and handles the
-// write-back of a dirty victim: the victim's data is written into the L2
-// (allocating there if needed — our L2 is inclusive of nothing, so a
-// write-back can miss). Write-back traffic does not stall the processor
-// (write buffers), but it is counted.
+// fillL1 installs a line in the L1 on behalf of a thread; the hierarchy
+// cascades any dirty victim into the levels below (allocating on a
+// write-back miss). Write-back traffic does not stall the processor (write
+// buffers), but it is counted.
 func (m *Machine) fillL1(line mem.Line, opts cache.FillOpts) {
-	v := m.l1.Fill(line, opts)
-	if v.Valid && v.Dirty {
-		m.writebacks++
-		if !m.l2.Lookup(v.Line, true) {
-			m.l2.Fill(v.Line, cache.FillOpts{Dirty: true})
-		}
-	}
+	m.hier.Fill(0, line, opts)
 }
 
-// accessL2 performs the L2 side of an L1 miss (or background fill): looks
-// up the L2, fills it on a miss (the L2 always demand-fills), and returns
-// the additional latency beyond the L1 hit path.
-func (m *Machine) accessL2(line mem.Line, write bool) uint64 {
-	m.l2Accesses++
-	if m.l2.Lookup(line, write) {
-		return m.cfg.L2HitLat
-	}
-	m.l2Misses++
-	m.memAccesses++
-	if m.l2gen == nil {
-		m.l2.Fill(line, cache.FillOpts{Dirty: write})
-	} else {
-		// L2 random fill: forward the line upward uncached and install
-		// a random neighbor instead (dropped if present).
-		off := m.l2gen.Offset()
-		if off >= 0 || uint64(-off) <= uint64(line) {
-			j := mem.Line(int64(line) + int64(off))
-			if !m.l2.Probe(j) {
-				m.memAccesses++
-				m.l2.Fill(j, cache.FillOpts{})
-			}
-		}
-	}
-	return m.cfg.L2HitLat + m.cfg.MemLat
+// fetchBelow services an L1 miss (or background fill) through the levels
+// below the L1, applying each level's own fill policy, and returns the
+// additional latency beyond the L1 hit path.
+func (m *Machine) fetchBelow(line mem.Line, write bool) uint64 {
+	return m.hier.Fetch(1, line, write)
 }
 
 // NewThread creates a hardware thread with the given fill policy. For
@@ -142,17 +92,17 @@ func (m *Machine) NewThread(tc ThreadConfig) *Thread {
 		engine:  nil,
 		mshr:    make([]mshrEntry, m.cfg.MissQueue),
 	}
-	t.engine = coreEngine(m.l1, m.root.Split(uint64(100+len(m.threads))))
+	t.engine = coreEngine(m.L1(), m.root.Split(uint64(100+len(m.threads))))
 	t.engine.SetOwner(tc.Owner)
 	t.engine.SetDropOnHit(!tc.KeepRedundantFills)
-	if dc, ok := m.l1.(domainCache); ok {
+	if dc, ok := m.L1().(domainCache); ok {
 		t.domainL1 = dc
 	}
 	if tc.Mode == ModeRandomFill {
 		t.engine.SetRR(tc.Window.A, tc.Window.B)
 	}
 	if tc.Mode == ModePreload {
-		pl, ok := m.l1.(*plcache.PLcache)
+		pl, ok := m.L1().(*plcache.PLcache)
 		if !ok {
 			panic("sim: ModePreload requires L1Kind == KindPLcache")
 		}
@@ -160,7 +110,7 @@ func (m *Machine) NewThread(tc ThreadConfig) *Thread {
 			for _, l := range r.Lines() {
 				// Preload traffic goes through the L2 like any
 				// other fill and costs the thread time up front.
-				t.cycle += float64(m.accessL2(l, false))
+				t.cycle += float64(m.fetchBelow(l, false))
 				pl.Fill(l, cache.FillOpts{Lock: true, Owner: tc.Owner})
 			}
 		}

@@ -287,7 +287,7 @@ func (t *Thread) serviceFills() {
 		if t.pending(r.Line) >= 0 {
 			continue
 		}
-		lat := t.machine.accessL2(r.Line, false)
+		lat := t.machine.fetchBelow(r.Line, false)
 		t.mshr[slot] = mshrEntry{
 			valid:      true,
 			line:       r.Line,
@@ -331,7 +331,7 @@ func (t *Thread) Step(a mem.Access) {
 		// miss-queue entry (it is a demand fetch).
 		t.res.SecretBypass++
 		slot := t.freeSlot()
-		lat := t.machine.accessL2(line, write)
+		lat := t.machine.fetchBelow(line, write)
 		t.mshr[slot] = mshrEntry{
 			valid: true,
 			line:  line,
@@ -384,7 +384,7 @@ func (t *Thread) Step(a mem.Access) {
 				if t.engine.Cache().Probe(l) {
 					continue
 				}
-				lat := t.machine.accessL2(l, false)
+				lat := t.machine.fetchBelow(l, false)
 				// Handler loads overlap pairwise at best.
 				t.cycle += float64(lat) / 2
 				t.machine.fillL1(l, cache.FillOpts{Owner: t.cfg.Owner})
@@ -402,7 +402,7 @@ func (t *Thread) Step(a mem.Access) {
 		switch r.Type {
 		case core.Normal, core.NoFill:
 			slot := t.freeSlot()
-			lat := t.machine.accessL2(line, write)
+			lat := t.machine.fetchBelow(line, write)
 			t.mshr[slot] = mshrEntry{
 				valid:  true,
 				line:   line,

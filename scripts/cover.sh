@@ -1,0 +1,29 @@
+#!/bin/sh
+# Statement-coverage gate for the hierarchy/simulator core (make cover, and
+# CI's coverage job). The three packages under the gate are the ones whose
+# miss-path and fill-policy semantics every experiment number depends on:
+# a refactor that silently un-tests them invalidates the goldens' meaning
+# even while the goldens still pass.
+set -eu
+
+THRESHOLD=80
+PKGS="randfill/internal/hierarchy randfill/internal/sim randfill/internal/core"
+
+fail=0
+for pkg in $PKGS; do
+    line=$(go test -cover "$pkg" | tail -n 1)
+    pct=$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "cover: no coverage figure for $pkg: $line" >&2
+        fail=1
+        continue
+    fi
+    ok=$(awk -v p="$pct" -v t="$THRESHOLD" 'BEGIN { print (p >= t) ? 1 : 0 }')
+    if [ "$ok" = 1 ]; then
+        echo "ok   $pkg ${pct}% (>= ${THRESHOLD}%)"
+    else
+        echo "FAIL $pkg ${pct}% (< ${THRESHOLD}%)" >&2
+        fail=1
+    fi
+done
+exit $fail

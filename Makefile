@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint ci cover bench bench-json bench-compare profile experiments fuzz clean
+.PHONY: all build test test-short vet lint ci cover bench bench-json bench-compare profile experiments fuzz crash-resume clean
 
 all: build lint test
 
@@ -61,6 +61,12 @@ experiments: build
 experiments-full: build
 	$(GO) run ./cmd/experiments -run Table3 -scale full
 	$(GO) run ./cmd/experiments -run Figure2 -scale full
+
+# Crash-safety suite: kill the real experiments binary mid-run with
+# injected faults and prove -resume reproduces the uninterrupted output
+# byte-for-byte (see ci.yml crash-resume).
+crash-resume:
+	$(GO) test -race -run 'CrashResume|DeadlineExit|InterruptExit|UsageErrors' ./cmd/experiments
 
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/traceio/

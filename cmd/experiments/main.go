@@ -7,21 +7,48 @@
 // Each experiment prints the rows the corresponding table or figure in the
 // paper reports. See DESIGN.md for the experiment index and EXPERIMENTS.md
 // for recorded paper-vs-measured results.
+//
+// Long runs are crash-safe: with -checkpoint-dir every completed work unit
+// of the resumable experiments (Figure2, Table3, MissQueueSecurity) is
+// flushed to disk the moment it finishes, and -resume loads those units
+// instead of re-running them — the resumed output is byte-identical to an
+// uninterrupted run at any -workers value. The first SIGINT or SIGTERM
+// cancels cooperatively (in-flight units finish and flush); a second exits
+// immediately.
+//
+// Exit codes: 0 success; 1 experiment failure; 2 usage error; 3 interrupted
+// by a signal (completed units were flushed if -checkpoint-dir was set);
+// 4 -timeout deadline exceeded (same flush guarantee); 130 hard exit on a
+// second signal; 137 fault-injected kill (-fault-plan, crash tests only).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"randfill/internal/checkpoint"
 	"randfill/internal/experiments"
+	"randfill/internal/faultinject"
 	"randfill/internal/profiling"
 )
 
-func main() {
-	run := flag.String("run", "all", "experiment to run (Figure2, Table3, Figure5..Figure10, Traffic, Prefetch) or 'all'")
+func main() { os.Exit(run()) }
+
+// usage prints a flag error and returns the usage exit code.
+func usage(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	return 2
+}
+
+func run() int {
+	runFlag := flag.String("run", "all", "experiment to run (Figure2, Table3, Figure5..Figure10, Traffic, Prefetch) or 'all'")
 	scale := flag.String("scale", "quick", "budget scale: quick or full")
 	seed := flag.Uint64("seed", 0, "override the random seed (0 = scale default)")
 	attackCap := flag.Int("attack-cap", 0, "override the Table3 measurements-to-success cap")
@@ -30,12 +57,16 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	ckptDir := flag.String("checkpoint-dir", "", "flush each completed work unit of the resumable experiments to this directory")
+	resume := flag.Bool("resume", false, "load completed units from -checkpoint-dir instead of re-running them")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none); on expiry completed units are already flushed")
+	faultPlan := flag.String("fault-plan", "", "fault-injection plan for crash testing, e.g. 'kill-after-puts=3' (see internal/faultinject)")
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	defer stop()
 
@@ -43,7 +74,7 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %s\n", e.Name, e.Description)
 		}
-		return
+		return 0
 	}
 
 	var sc experiments.Scale
@@ -53,8 +84,7 @@ func main() {
 	case "full":
 		sc = experiments.FullScale()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
-		os.Exit(2)
+		return usage("unknown scale %q (want quick or full)", *scale)
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
@@ -67,23 +97,92 @@ func main() {
 	}
 	sc.Workers = *workers
 
+	if *ckptDir == "" {
+		if *resume {
+			return usage("-resume requires -checkpoint-dir")
+		}
+		if *faultPlan != "" {
+			return usage("-fault-plan requires -checkpoint-dir (it injects faults at checkpoint writes)")
+		}
+	} else {
+		store, err := checkpoint.Open(*ckptDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 2
+		}
+		if *faultPlan != "" {
+			plan, err := faultinject.Parse(*faultPlan)
+			if err != nil {
+				return usage("%v", err)
+			}
+			if plan != nil {
+				store.Hooks = plan
+			}
+		}
+		sc.Checkpoint = store
+		sc.Resume = *resume
+	}
+
 	var todo []experiments.Experiment
-	if strings.EqualFold(*run, "all") {
+	if strings.EqualFold(*runFlag, "all") {
 		todo = experiments.All()
 	} else {
-		e, ok := experiments.ByName(*run)
+		e, ok := experiments.ByName(*runFlag)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows the registry\n", *run)
-			os.Exit(2)
+			return usage("unknown experiment %q; -list shows the registry", *runFlag)
 		}
 		todo = []experiments.Experiment{e}
 	}
 
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
+
+	// First signal: cancel cooperatively — workers stop claiming new units,
+	// units already running finish and flush their checkpoints, and the run
+	// exits 3. Second signal: exit immediately.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "experiments: received %v; finishing in-flight work and flushing checkpoints (signal again to exit immediately)\n", s)
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "experiments: second signal, exiting immediately")
+		os.Exit(130)
+	}()
+
+	note := ""
+	if sc.Checkpoint != nil {
+		note = "; completed units are flushed to " + sc.Checkpoint.Dir() + " — rerun with -resume to continue"
+	}
 	for _, e := range todo {
 		//lint:ignore detrand wall-clock progress display only; never feeds simulator or experiment state
 		start := time.Now()
-		fmt.Println(e.Run(sc))
+		t, err := e.Run(ctx, sc)
+		if err != nil {
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				fmt.Fprintf(os.Stderr, "experiments: %s: deadline exceeded, results are partial%s\n", e.Name, note)
+				return 4
+			case errors.Is(err, context.Canceled):
+				fmt.Fprintf(os.Stderr, "experiments: %s: interrupted, results are partial%s\n", e.Name, note)
+				return 3
+			default:
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
+				return 1
+			}
+		}
+		fmt.Println(t)
+		// The timing footer goes to stderr so stdout carries exactly the
+		// tables: resume tests byte-compare stdout across runs.
 		//lint:ignore detrand wall-clock progress display only; never feeds simulator or experiment state
-		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

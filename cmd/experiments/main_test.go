@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"randfill/internal/atomicio"
 	"randfill/internal/experiments"
 )
 
@@ -27,18 +29,24 @@ func testQuickGolden(t *testing.T, name, file string) {
 	if !ok {
 		t.Fatalf("%s not registered", name)
 	}
-	sc := experiments.QuickScale()
-	sc.Workers = 1
-	serial := e.Run(sc).String()
-	sc.Workers = 8
-	got := e.Run(sc).String()
+	render := func(workers int) string {
+		sc := experiments.QuickScale()
+		sc.Workers = workers
+		tbl, err := e.Run(context.Background(), sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return tbl.String()
+	}
+	serial := render(1)
+	got := render(8)
 	if got != serial {
 		t.Fatalf("%s differs between workers=1 and workers=8:\n%s\nvs\n%s", name, serial, got)
 	}
 
 	golden := filepath.Join("testdata", file)
 	if *update {
-		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+		if err := atomicio.WriteFile(golden, []byte(got), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -9,16 +9,24 @@
 //	rfattack -attack flushreload -window 16,15
 //	rfattack -attack primeprobe -l1kind newcache
 //	rfattack -attack evicttime
+//
+// Exit codes: 0 success; 1 error; 3 interrupted by SIGINT/SIGTERM — the
+// collision attacks stop at the next batch boundary and report the partial
+// result first; the other attacks exit without results. A second signal
+// exits immediately (130).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/big"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"randfill/internal/attacks"
 	"randfill/internal/cache"
@@ -52,9 +60,31 @@ func main() {
 		fatal(err)
 	}
 
+	// The collision search checks its ctx at every batch boundary, so the
+	// first signal lets it stop and report the partial result; the other
+	// attacks run in one piece, so for them the first signal exits at once.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	cooperative := *attack == "collision" || *attack == "collision-first"
+	go func() {
+		s := <-sigc
+		if !cooperative {
+			fmt.Fprintf(os.Stderr, "rfattack: received %v; this attack is not interruptible mid-run, exiting without results\n", s)
+			os.Exit(3)
+		}
+		fmt.Fprintf(os.Stderr, "rfattack: received %v; stopping at the next batch boundary to report partial results (signal again to exit immediately)\n", s)
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "rfattack: second signal, exiting immediately")
+		os.Exit(130)
+	}()
+
 	switch *attack {
 	case "collision", "collision-first":
-		runCollision(*attack, w, sim.CacheKind(*l1kind), *samples, *batch, *seed)
+		runCollision(ctx, *attack, w, sim.CacheKind(*l1kind), *samples, *batch, *seed)
 	case "flushreload":
 		runFlushReload(w, *l1kind, *samples, *seed)
 	case "primeprobe":
@@ -68,7 +98,7 @@ func main() {
 	}
 }
 
-func runCollision(kind string, w rng.Window, l1 sim.CacheKind, samples, batch int, seed uint64) {
+func runCollision(ctx context.Context, kind string, w rng.Window, l1 sim.CacheKind, samples, batch int, seed uint64) {
 	cfg := attacks.CollisionConfig{Sim: sim.DefaultConfig(), Seed: seed}
 	cfg.Sim.MissQueue = 2 // attacker-favoring (see DESIGN.md)
 	cfg.Sim.L1Kind = l1
@@ -80,7 +110,7 @@ func runCollision(kind string, w rng.Window, l1 sim.CacheKind, samples, batch in
 	}
 	fmt.Printf("cache collision attack (%s round) vs %s, victim window %v\n",
 		map[bool]string{true: "first", false: "final"}[kind == "collision-first"], l1, w)
-	res := attacks.MeasurementsToSuccess(cfg, batch, samples)
+	res, err := attacks.MeasurementsToSuccessCtx(ctx, cfg, batch, samples)
 	if res.Success {
 		fmt.Printf("SUCCESS: full key XOR relations recovered after %d measurements\n", res.Measurements)
 	} else {
@@ -88,6 +118,10 @@ func runCollision(kind string, w rng.Window, l1 sim.CacheKind, samples, batch in
 			res.Measurements, res.CorrectPairs)
 	}
 	fmt.Printf("sigma_T = %.1f cycles\n", res.SigmaT)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfattack: interrupted — the results above are partial (the search did not reach its sample budget)")
+		os.Exit(3)
+	}
 }
 
 func mkCache(l1kind string) func(src *rng.Source) cache.Cache {

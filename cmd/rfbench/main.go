@@ -28,6 +28,7 @@ import (
 	"testing"
 
 	"randfill/internal/aes"
+	"randfill/internal/atomicio"
 	"randfill/internal/attacks"
 	"randfill/internal/cache"
 	"randfill/internal/experiments"
@@ -312,7 +313,9 @@ func emit(rep Report, path string) error {
 		_, err := os.Stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	// Atomic so an interrupted run can never leave a half-written BENCH.json
+	// for compareBaseline (or CI) to choke on.
+	return atomicio.WriteFile(path, data, 0o644)
 }
 
 // compareBaseline prints a delta table of rep against the baseline file and

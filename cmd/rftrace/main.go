@@ -60,24 +60,14 @@ func cmdGen(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	f, err := os.Create(*out)
+	// Atomic write: a failure anywhere (including the final flush on a full
+	// disk) leaves any existing file untouched and never a truncated trace.
+	size, err := traceio.WriteFile(*out, trace)
 	if err != nil {
-		fatal(err)
-	}
-	if err := traceio.Write(f, trace); err != nil {
-		fatal(err)
-	}
-	st, err := f.Stat()
-	if err != nil {
-		fatal(err)
-	}
-	// Close before reporting success: the close flushes the final data, so
-	// a full disk or I/O error here means the trace is truncated.
-	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d accesses (%d bytes, %.2f bytes/access) to %s\n",
-		len(trace), st.Size(), float64(st.Size())/float64(len(trace)), *out)
+		len(trace), size, float64(size)/float64(len(trace)), *out)
 }
 
 func cmdInfo(args []string) {

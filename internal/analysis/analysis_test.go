@@ -77,6 +77,7 @@ func TestCheckerCorpus(t *testing.T) {
 		{"errcheckio", "errcheck-io"},
 		{"ctindex", "ctindex"},
 		{"sim", "simlayer"},
+		{"atomicwrite", "atomicwrite"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -1,0 +1,60 @@
+package checkers
+
+import (
+	"go/ast"
+	"strings"
+
+	"randfill/internal/analysis"
+)
+
+// atomicwrite enforces the crash-safety contract for result artifacts:
+// anything the repo writes as an output — golden files, BENCH.json, traces,
+// checkpoints — must go through internal/atomicio (temp file in the target
+// directory, fsync, rename), so a crash or interrupt can never publish a
+// torn file that a later run would read as a result. Direct os.Create /
+// os.WriteFile calls in non-test code are flagged; internal/atomicio itself
+// is exempt (it is the one place allowed to touch the raw primitives), and
+// test files are exempt (tests construct broken files on purpose). The rare
+// legitimate direct write — a streaming pprof profile, deliberate fault
+// injection — carries a //lint:ignore atomicwrite directive stating why.
+type atomicwrite struct{}
+
+func (atomicwrite) Name() string { return "atomicwrite" }
+
+func (atomicwrite) Doc() string {
+	return "forbids direct os.Create/os.WriteFile outside internal/atomicio; result artifacts must be written atomically"
+}
+
+// atomicwriteBanned lists the raw write entry points, in stable order.
+var atomicwriteBanned = []string{"Create", "WriteFile"}
+
+func (atomicwrite) Run(pass *analysis.Pass) error {
+	if pathHasSuffix(pass.Pkg.Path, "internal/atomicio") || pathHasSuffix(pass.Pkg.Path, "atomicio") {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			for _, banned := range atomicwriteBanned {
+				if fn.Name() == banned {
+					pass.Reportf(call.Pos(), analysis.SeverityError,
+						"result artifact written non-atomically (os.%s); use internal/atomicio (Create/Commit or WriteFile) so a crash cannot publish a torn file",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

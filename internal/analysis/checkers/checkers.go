@@ -7,6 +7,7 @@
 //   - errcheck-io: experiment I/O errors must not be dropped
 //   - ctindex:     only designated victim packages may index by secrets
 //   - simlayer:    internal/sim constructs caches only in level builders
+//   - atomicwrite: result artifacts are written via internal/atomicio
 //
 // See each checker's Doc for the precise rule and its rationale.
 package checkers
@@ -29,6 +30,7 @@ func All() []analysis.Analyzer {
 		errcheckIO{},
 		ctindex{},
 		simlayer{},
+		atomicwrite{},
 	}
 }
 

@@ -1,0 +1,56 @@
+// Package atomicwrite seeds violations for the atomicwrite checker:
+// result artifacts written with raw os primitives instead of
+// internal/atomicio, where a crash could publish a torn file.
+package atomicwrite
+
+import (
+	"os"
+
+	"randfill/internal/atomicio"
+)
+
+func rawWrites(results []byte) error {
+	f, err := os.Create("results.json") // want "non-atomically (os.Create)"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(results); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile("table.txt", results, 0o644) // want "non-atomically (os.WriteFile)"
+}
+
+func atomicWrites(results []byte) error {
+	// The approved path: stage in a temp file, fsync, rename.
+	if err := atomicio.WriteFile("results.json", results, 0o644); err != nil {
+		return err
+	}
+	f, err := atomicio.Create("table.txt")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(results); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
+}
+
+func readingAndScratchAreFine() error {
+	// Reads and explicit scratch files are not result artifacts.
+	f, err := os.Open("input.trace")
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp("", "scratch-*")
+	if err != nil {
+		return err
+	}
+	return tmp.Close()
+}

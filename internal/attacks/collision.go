@@ -13,6 +13,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"randfill/internal/aes"
@@ -390,9 +391,28 @@ type SearchResult struct {
 // recovers every XOR relation or maxSamples is reached — the procedure
 // behind Table III's "# measurements" row.
 func MeasurementsToSuccess(cfg CollisionConfig, batch, maxSamples int) SearchResult {
+	res, _ := MeasurementsToSuccessCtx(context.Background(), cfg, batch, maxSamples)
+	return res
+}
+
+// MeasurementsToSuccessCtx is MeasurementsToSuccess with cooperative
+// cancellation between batches. Unlike the sharded search, an interrupted
+// serial search still returns the partial result alongside ctx's error, so
+// an interactive caller (rfattack) can report how far the attack got before
+// the interrupt; batches already collected are reflected in the result. The
+// returned error is nil iff the search ran to completion or success.
+func MeasurementsToSuccessCtx(ctx context.Context, cfg CollisionConfig, batch, maxSamples int) (SearchResult, error) {
 	a := NewCollision(cfg)
 	best := 0
 	for a.Samples() < uint64(maxSamples) {
+		if err := ctx.Err(); err != nil {
+			return SearchResult{
+				Measurements: a.Samples(),
+				Success:      false,
+				CorrectPairs: best,
+				SigmaT:       a.SigmaT(),
+			}, err
+		}
 		n := batch
 		if rem := maxSamples - int(a.Samples()); n > rem {
 			n = rem
@@ -407,7 +427,7 @@ func MeasurementsToSuccess(cfg CollisionConfig, batch, maxSamples int) SearchRes
 				Success:      true,
 				CorrectPairs: a.Pairs(),
 				SigmaT:       a.SigmaT(),
-			}
+			}, nil
 		}
 	}
 	return SearchResult{
@@ -415,5 +435,5 @@ func MeasurementsToSuccess(cfg CollisionConfig, batch, maxSamples int) SearchRes
 		Success:      false,
 		CorrectPairs: best,
 		SigmaT:       a.SigmaT(),
-	}
+	}, nil
 }

@@ -1,16 +1,20 @@
 package attacks
 
 import (
+	"context"
+
 	"randfill/internal/parexp"
 	"randfill/internal/rng"
 )
 
-// newShards builds one collision attack per shard, all against the SAME
+// NewShards builds one collision attack per shard, all against the SAME
 // victim key (the shards are one attack on one victim) but each with its
 // own Split-derived plaintext stream and simulator seed. The shard plan is
 // a pure function of (cfg, shards): which shard draws which random values
-// never depends on how many goroutines execute them.
-func newShards(cfg CollisionConfig, shards int) []*Collision {
+// never depends on how many goroutines execute them. It is exported so the
+// resumable experiment layer can run the plan shard-by-shard, persisting
+// each completed shard's Stats through the checkpoint store.
+func NewShards(cfg CollisionConfig, shards int) []*Collision {
 	if shards < 1 {
 		shards = 1
 	}
@@ -36,9 +40,15 @@ func newShards(cfg CollisionConfig, shards int) []*Collision {
 	return out
 }
 
-// mergeShards folds the shard states together in shard-index order and
+// ShardSeed returns the plaintext-stream seed NewShards derives for shard s
+// of cfg — the identity a checkpoint of that shard is bound to.
+func ShardSeed(cfg CollisionConfig, s int) uint64 {
+	return rng.New(cfg.Seed ^ 0xc0111510).SplitSeed(uint64(s))
+}
+
+// MergeShardStats folds the shard states together in shard-index order and
 // returns the aggregate; the shards' own accumulators are left untouched.
-func mergeShards(shards []*Collision) *CollisionStats {
+func MergeShardStats(shards []*Collision) *CollisionStats {
 	agg := shards[0].Stats().Clone()
 	for _, a := range shards[1:] {
 		agg.Merge(a.Stats())
@@ -46,20 +56,50 @@ func mergeShards(shards []*Collision) *CollisionStats {
 	return agg
 }
 
-// CollectSharded runs one collision attack's measurement collection across
-// a fixed shard plan: total measurements are split evenly over shards, each
-// shard collects its slice on eng's worker pool, and the merged statistics
-// are returned. For a fixed (cfg, total, shards) the result is
-// byte-identical for any worker count — the parallel counterpart of
-// NewCollision + Collect(total).
-func CollectSharded(eng *parexp.Engine, cfg CollisionConfig, total, shards int) *CollisionStats {
-	atks := newShards(cfg, shards)
-	counts := parexp.SplitCounts(total, len(atks))
-	eng.ForEach(len(atks), func(s int) { atks[s].Collect(counts[s]) })
-	return mergeShards(atks)
+// MergeStats is MergeShardStats over bare accumulator states, the form the
+// checkpoint layer restores: states[0] seeds the aggregate (via Clone) and
+// the rest fold in, in index order. Because the serialized states
+// round-trip exactly, merging restored states is byte-identical to merging
+// the live shards they were saved from.
+func MergeStats(states []*CollisionStats) *CollisionStats {
+	agg := states[0].Clone()
+	for _, s := range states[1:] {
+		agg.Merge(s)
+	}
+	return agg
 }
 
-// MeasurementsToSuccessSharded is the parallel measurements-to-success
+// CollectShardedCtx runs one collision attack's measurement collection
+// across a fixed shard plan: total measurements are split evenly over
+// shards, each shard collects its slice on eng's worker pool, and the
+// merged statistics are returned. For a fixed (cfg, total, shards) the
+// result is byte-identical for any worker count — the parallel counterpart
+// of NewCollision + Collect(total). On cancellation the partial shards are
+// discarded and ctx's error is returned.
+func CollectShardedCtx(ctx context.Context, eng *parexp.Engine, cfg CollisionConfig, total, shards int) (*CollisionStats, error) {
+	atks := NewShards(cfg, shards)
+	counts := parexp.SplitCounts(total, len(atks))
+	err := eng.ForEachCtx(ctx, len(atks), func(_ context.Context, s int) error {
+		atks[s].Collect(counts[s])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return MergeShardStats(atks), nil
+}
+
+// CollectSharded is CollectShardedCtx without cancellation. A shard panic
+// is re-panicked in the caller, as with parexp.ForEach.
+func CollectSharded(eng *parexp.Engine, cfg CollisionConfig, total, shards int) *CollisionStats {
+	agg, err := CollectShardedCtx(context.Background(), eng, cfg, total, shards)
+	if err != nil {
+		panic(err)
+	}
+	return agg
+}
+
+// MeasurementsToSuccessShardedCtx is the parallel measurements-to-success
 // search behind Table III: the sample budget is consumed in rounds of batch
 // measurements, each round split over the fixed shard plan; after every
 // round the shard states merge (in shard order) and the aggregate is
@@ -73,20 +113,32 @@ func CollectSharded(eng *parexp.Engine, cfg CollisionConfig, total, shards int) 
 // the shards are independent measurement streams, so the grouped means they
 // merge are a different (equally valid) Monte Carlo sample of the same
 // attack.
-func MeasurementsToSuccessSharded(eng *parexp.Engine, cfg CollisionConfig, batch, maxSamples, shards int) SearchResult {
-	atks := newShards(cfg, shards)
+//
+// Cancellation is checked between rounds and between shard collections; a
+// cancelled search returns ctx's error and no result. The search's
+// round-by-round early exit is why it checkpoints as one unit rather than
+// per shard: a shard's stopping point depends on every other shard's
+// measurements at each round boundary.
+func MeasurementsToSuccessShardedCtx(ctx context.Context, eng *parexp.Engine, cfg CollisionConfig, batch, maxSamples, shards int) (SearchResult, error) {
+	atks := NewShards(cfg, shards)
 	best := 0
 	collected := 0
-	agg := mergeShards(atks) // degenerate budgets report an empty aggregate
+	agg := MergeShardStats(atks) // degenerate budgets report an empty aggregate
 	for collected < maxSamples {
 		n := batch
 		if rem := maxSamples - collected; n > rem {
 			n = rem
 		}
 		counts := parexp.SplitCounts(n, len(atks))
-		eng.ForEach(len(atks), func(s int) { atks[s].Collect(counts[s]) })
+		err := eng.ForEachCtx(ctx, len(atks), func(_ context.Context, s int) error {
+			atks[s].Collect(counts[s])
+			return nil
+		})
+		if err != nil {
+			return SearchResult{}, err
+		}
 		collected += n
-		agg = mergeShards(atks)
+		agg = MergeShardStats(atks)
 		if c := agg.CorrectPairs(); c > best {
 			best = c
 		}
@@ -96,7 +148,7 @@ func MeasurementsToSuccessSharded(eng *parexp.Engine, cfg CollisionConfig, batch
 				Success:      true,
 				CorrectPairs: agg.Pairs(),
 				SigmaT:       agg.SigmaT(),
-			}
+			}, nil
 		}
 	}
 	return SearchResult{
@@ -104,5 +156,15 @@ func MeasurementsToSuccessSharded(eng *parexp.Engine, cfg CollisionConfig, batch
 		Success:      false,
 		CorrectPairs: best,
 		SigmaT:       agg.SigmaT(),
+	}, nil
+}
+
+// MeasurementsToSuccessSharded is MeasurementsToSuccessShardedCtx without
+// cancellation.
+func MeasurementsToSuccessSharded(eng *parexp.Engine, cfg CollisionConfig, batch, maxSamples, shards int) SearchResult {
+	res, err := MeasurementsToSuccessShardedCtx(context.Background(), eng, cfg, batch, maxSamples, shards)
+	if err != nil {
+		panic(err)
 	}
+	return res
 }

@@ -1,0 +1,195 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"randfill/internal/checkpoint"
+	"randfill/internal/rng"
+)
+
+func testMeta() checkpoint.Meta {
+	return checkpoint.Meta{
+		Experiment:    "Figure2/collect",
+		Shard:         3,
+		Seed:          0xdeadbeef,
+		ConfigHash:    checkpoint.Hash("quick", "seed=1"),
+		StreamVersion: rng.StreamVersion,
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMeta()
+	payload := []byte{1, 2, 3, 0xff, 0}
+	if err := st.Put(m, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(m)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload %v, want %v", got, payload)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	st, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(testMeta()); ok || err != nil {
+		t.Fatalf("missing shard: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	st, _ := checkpoint.Open(t.TempDir())
+	m := testMeta()
+	if err := st.Put(m, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(m)
+	if err != nil || !ok || len(got) != 0 {
+		t.Fatalf("empty payload: got %v ok=%v err=%v", got, ok, err)
+	}
+}
+
+// shardFile locates the single checkpoint file in the store's directory.
+func shardFile(t *testing.T, st *checkpoint.Store) string {
+	t.Helper()
+	ents, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("want exactly 1 checkpoint file, have %d", len(ents))
+	}
+	return filepath.Join(st.Dir(), ents[0].Name())
+}
+
+func TestTornFileReadsAsMissing(t *testing.T) {
+	st, _ := checkpoint.Open(t.TempDir())
+	m := testMeta()
+	if err := st.Put(m, []byte("accumulator state")); err != nil {
+		t.Fatal(err)
+	}
+	path := shardFile(t, st)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: the file stops half-way through the body.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(m); ok || err != nil {
+		t.Fatalf("torn file: ok=%v err=%v, want missing", ok, err)
+	}
+}
+
+func TestBitFlipReadsAsMissing(t *testing.T) {
+	st, _ := checkpoint.Open(t.TempDir())
+	m := testMeta()
+	if err := st.Put(m, []byte("accumulator state")); err != nil {
+		t.Fatal(err)
+	}
+	path := shardFile(t, st)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit past the header.
+	data[len(data)-3] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(m); ok || err != nil {
+		t.Fatalf("bit-flipped file: ok=%v err=%v, want missing", ok, err)
+	}
+}
+
+func TestMetaMismatchReadsAsMissing(t *testing.T) {
+	st, _ := checkpoint.Open(t.TempDir())
+	m := testMeta()
+	if err := st.Put(m, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*checkpoint.Meta){
+		func(m *checkpoint.Meta) { m.Seed++ },
+		func(m *checkpoint.Meta) { m.StreamVersion++ },
+	}
+	for i, mutate := range cases {
+		q := m
+		mutate(&q)
+		if _, ok, _ := st.Get(q); ok {
+			t.Errorf("case %d: mismatched meta loaded a checkpoint", i)
+		}
+	}
+	// A different config hash or shard resolves to a different file name, so
+	// it is missing by construction.
+	q := m
+	q.ConfigHash++
+	if _, ok, _ := st.Get(q); ok {
+		t.Error("different config hash loaded a checkpoint")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	st, _ := checkpoint.Open(t.TempDir())
+	m := testMeta()
+	if err := st.Put(m, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(m, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(m)
+	if err != nil || !ok || string(got) != "second" {
+		t.Fatalf("got %q ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestShardsAndExperimentsAreDistinctFiles(t *testing.T) {
+	st, _ := checkpoint.Open(t.TempDir())
+	a := testMeta()
+	b := a
+	b.Shard = 4
+	c := a
+	c.Experiment = "Table3/cells"
+	for i, m := range []checkpoint.Meta{a, b, c} {
+		if err := st.Put(m, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, m := range []checkpoint.Meta{a, b, c} {
+		got, ok, err := st.Get(m)
+		if err != nil || !ok || len(got) != 1 || got[0] != byte(i) {
+			t.Fatalf("meta %d: got %v ok=%v err=%v", i, got, ok, err)
+		}
+	}
+}
+
+func TestHashIsOrderAndBoundarySensitive(t *testing.T) {
+	if checkpoint.Hash("a", "b") == checkpoint.Hash("b", "a") {
+		t.Error("hash ignores order")
+	}
+	if checkpoint.Hash("ab", "c") == checkpoint.Hash("a", "bc") {
+		t.Error("hash ignores part boundaries")
+	}
+	if checkpoint.Hash("a") != checkpoint.Hash("a") {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := checkpoint.Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

@@ -10,9 +10,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"randfill/internal/checkpoint"
 	"randfill/internal/parexp"
 )
 
@@ -100,6 +102,19 @@ type Scale struct {
 	// speed knob, never a results knob, which is why it lives in Scale
 	// next to the budget knobs rather than in each experiment's inputs.
 	Workers int
+	// Checkpoint, when non-nil, makes the resumable experiments flush each
+	// completed work unit through the store the moment it finishes, so an
+	// interrupted run can pick up where it left off. Nil disables
+	// checkpointing (the default; no I/O on the experiment path).
+	Checkpoint *checkpoint.Store
+	// Resume makes the resumable experiments load completed units from
+	// Checkpoint instead of re-running them. Because every unit is a pure
+	// function of (Scale, unit index) and its accumulator serializes
+	// exactly, a resumed run's output is byte-identical to an
+	// uninterrupted one — Checkpoint's identity checks (seed, config
+	// hash, RNG stream version) refuse units recorded under any other
+	// configuration.
+	Resume bool
 }
 
 // engine returns the worker pool the experiment's trial shards execute on.
@@ -136,39 +151,56 @@ func QuickScale() Scale {
 	}
 }
 
-// Experiment is a registry entry.
+// Experiment is a registry entry. Run honors cooperative cancellation: a
+// cancelled or expired ctx stops the experiment between work units and
+// surfaces ctx's error. The resumable experiments (Figure2, Table3,
+// MissQueueSecurity — the long-running attack searches) additionally honor
+// Scale.Checkpoint and Scale.Resume; the rest check ctx at unit boundaries
+// only and never touch the checkpoint store.
 type Experiment struct {
 	Name string
 	// What the experiment reproduces.
 	Description string
-	Run         func(Scale) *Table
+	Run         func(ctx context.Context, sc Scale) (*Table, error)
+}
+
+// plain adapts a non-resumable experiment to the registry's context-aware
+// signature. These experiments run in one piece, so cancellation is honored
+// only before the run starts; checkpoint settings are ignored.
+func plain(f func(Scale) *Table) func(context.Context, Scale) (*Table, error) {
+	return func(ctx context.Context, sc Scale) (*Table, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return f(sc), nil
+	}
 }
 
 // All returns the experiment registry in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"Figure2", "final-round collision attack timing characteristic chart", Figure2},
-		{"Table3", "P1-P2 and measurements-to-success vs window size", Table3},
-		{"Figure5", "storage channel capacity vs window size", func(Scale) *Table { return Figure5() }},
-		{"Figure6", "AES-CBC IPC across cache geometries and defenses", Figure6},
-		{"Figure7", "AES-CBC IPC vs random fill window size", Figure7},
-		{"Figure8", "SMT co-run throughput of SPEC-like programs next to AES", Figure8},
-		{"Figure9", "spatial locality profiles Eff(d)", Figure9},
-		{"Figure10", "L1 MPKI and IPC vs random fill window per benchmark", Figure10},
-		{"Traffic", "L2/memory traffic increase for streaming benchmarks", Traffic},
-		{"Prefetch", "tagged prefetcher vs random fill on streaming benchmarks", PrefetchComparison},
-		{"Defenses", "defense matrix: cache architectures vs attack classes (Section VIII)", DefenseMatrix},
-		{"AblationWindowShape", "window direction: security signal vs streaming speedup", AblationWindowShape},
-		{"AblationFillQueue", "random fill queue depth", AblationFillQueue},
-		{"AblationMissQueue", "miss queue (MSHR) entries", AblationMissQueue},
-		{"AblationDropOnHit", "drop-if-present tag check", AblationDropOnHit},
-		{"AblationL2RandomFill", "random fill at L1 only vs L1+L2", AblationL2RandomFill},
-		{"Hierarchy3", "3-level hierarchy: which levels run random fill", Hierarchy3},
-		{"ConstantTime", "constant-time defenses vs random fill on AES", ConstantTime},
-		{"InformingDoS", "informing-loads DoS amplification under an evicting co-runner", InformingDoS},
-		{"AdaptiveWindow", "phase-adaptive window selection (the paper's future work)", AdaptiveWindow},
-		{"Equation4", "analytical timing-channel model vs simulator (Eq. 4)", Equation4},
-		{"MissQueueSecurity", "miss queue size vs collision attack cost (Section V.A)", MissQueueSecurity},
+		{"Figure2", "final-round collision attack timing characteristic chart", Figure2Ctx},
+		{"Table3", "P1-P2 and measurements-to-success vs window size", Table3Ctx},
+		{"Figure5", "storage channel capacity vs window size", plain(func(Scale) *Table { return Figure5() })},
+		{"Figure6", "AES-CBC IPC across cache geometries and defenses", plain(Figure6)},
+		{"Figure7", "AES-CBC IPC vs random fill window size", plain(Figure7)},
+		{"Figure8", "SMT co-run throughput of SPEC-like programs next to AES", plain(Figure8)},
+		{"Figure9", "spatial locality profiles Eff(d)", plain(Figure9)},
+		{"Figure10", "L1 MPKI and IPC vs random fill window per benchmark", plain(Figure10)},
+		{"Traffic", "L2/memory traffic increase for streaming benchmarks", plain(Traffic)},
+		{"Prefetch", "tagged prefetcher vs random fill on streaming benchmarks", plain(PrefetchComparison)},
+		{"Defenses", "defense matrix: cache architectures vs attack classes (Section VIII)", plain(DefenseMatrix)},
+		{"AblationWindowShape", "window direction: security signal vs streaming speedup", plain(AblationWindowShape)},
+		{"AblationFillQueue", "random fill queue depth", plain(AblationFillQueue)},
+		{"AblationMissQueue", "miss queue (MSHR) entries", plain(AblationMissQueue)},
+		{"AblationDropOnHit", "drop-if-present tag check", plain(AblationDropOnHit)},
+		{"AblationL2RandomFill", "random fill at L1 only vs L1+L2", plain(AblationL2RandomFill)},
+		{"Hierarchy3", "3-level hierarchy: which levels run random fill", plain(Hierarchy3)},
+		{"ConstantTime", "constant-time defenses vs random fill on AES", plain(ConstantTime)},
+		{"InformingDoS", "informing-loads DoS amplification under an evicting co-runner", plain(InformingDoS)},
+		{"AdaptiveWindow", "phase-adaptive window selection (the paper's future work)", plain(AdaptiveWindow)},
+		{"Equation4", "analytical timing-channel model vs simulator (Eq. 4)", plain(Equation4)},
+		{"MissQueueSecurity", "miss queue size vs collision attack cost (Section V.A)", MissQueueSecurityCtx},
 	}
 }
 

@@ -1,9 +1,21 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"testing"
 )
+
+// mustRun renders one experiment, failing the test on error (no experiment
+// errors under a background ctx).
+func mustRun(t *testing.T, e Experiment, sc Scale) string {
+	t.Helper()
+	tbl, err := e.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatalf("%s: %v", e.Name, err)
+	}
+	return tbl.String()
+}
 
 // extraWorkers adds one more worker count to the invariance matrix, so CI
 // (or a curious operator) can probe odd counts without editing the test:
@@ -45,10 +57,10 @@ func TestWorkerCountInvariance(t *testing.T) {
 			t.Parallel()
 			sc := tinyScale()
 			sc.Workers = counts[0]
-			want := e.Run(sc).String()
+			want := mustRun(t, e, sc)
 			for _, w := range counts[1:] {
 				sc.Workers = w
-				if got := e.Run(sc).String(); got != want {
+				if got := mustRun(t, e, sc); got != want {
 					t.Fatalf("workers=%d changed the output\n--- workers=%d ---\n%s--- workers=%d ---\n%s",
 						w, counts[0], want, w, got)
 				}
@@ -56,7 +68,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 			// Same seed, same worker count: a repeated run must reproduce
 			// the exact bytes (no hidden global state between runs).
 			sc.Workers = counts[len(counts)-1]
-			if got := e.Run(sc).String(); got != want {
+			if got := mustRun(t, e, sc); got != want {
 				t.Fatalf("repeated run at workers=%d changed the output", sc.Workers)
 			}
 		})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"randfill/internal/attacks"
@@ -15,6 +16,18 @@ import (
 // per-collision timing signal. At a fixed measurement budget, the attack
 // recovers more key relations against the smaller miss queue.
 func MissQueueSecurity(sc Scale) *Table {
+	t, err := MissQueueSecurityCtx(context.Background(), sc)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// MissQueueSecurityCtx is the resumable MissQueueSecurity. Its work unit is
+// one miss-queue size's full measurements-to-success search (the same
+// cell-granularity reasoning as Table3Ctx: the search's early exit couples
+// its shards, so the completed SearchResult is what checkpoints).
+func MissQueueSecurityCtx(ctx context.Context, sc Scale) (*Table, error) {
 	t := &Table{
 		Title: "Section V.A: miss queue size vs collision attack progress",
 		Headers: []string{"miss queue entries", "sigma_T (cycles)",
@@ -22,11 +35,22 @@ func MissQueueSecurity(sc Scale) *Table {
 	}
 	sizes := []int{2, 4, 8}
 	eng := sc.engine()
-	results := parexp.Map(eng, len(sizes), func(i int) attacks.SearchResult {
-		cfg := attacks.CollisionConfig{Sim: sim.DefaultConfig(), Seed: sc.Seed}
-		cfg.Sim.MissQueue = sizes[i]
-		return attacks.MeasurementsToSuccessSharded(eng, cfg, sc.AttackBatch, sc.AttackMaxSamples, parexp.Shards)
-	})
+	results, err := runShards(ctx, sc, "MissQueueSecurity", len(sizes),
+		func(int) uint64 { return sc.Seed },
+		func(ctx context.Context, i int) (attacks.SearchResult, error) {
+			cfg := attacks.CollisionConfig{Sim: sim.DefaultConfig(), Seed: sc.Seed}
+			cfg.Sim.MissQueue = sizes[i]
+			return attacks.MeasurementsToSuccessShardedCtx(ctx, eng, cfg, sc.AttackBatch, sc.AttackMaxSamples, parexp.Shards)
+		},
+		func(r attacks.SearchResult) ([]byte, error) { return r.MarshalBinary() },
+		func(data []byte) (attacks.SearchResult, error) {
+			var r attacks.SearchResult
+			err := r.UnmarshalBinary(data)
+			return r, err
+		})
+	if err != nil {
+		return nil, err
+	}
 	for i, res := range results {
 		outcome := fmt.Sprintf("no success at %d samples", res.Measurements)
 		if res.Success {
@@ -38,5 +62,5 @@ func MissQueueSecurity(sc Scale) *Table {
 			outcome)
 	}
 	t.AddNote("paper: the 1-entry configuration needs ~10x fewer samples than the 4-entry baseline; here the 2-entry configuration recovers more pairs than 4 or 8 at the same budget (2 is the smallest queue that still lets random fill requests issue in a trace-driven model — DESIGN.md)")
-	return t
+	return t, nil
 }

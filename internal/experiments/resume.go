@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"randfill/internal/checkpoint"
+	"randfill/internal/parexp"
+	"randfill/internal/rng"
+)
+
+// configHash binds a checkpoint to everything that determines a shard's
+// bytes: the experiment, every budget knob, the master seed, the fixed
+// shard count, and the RNG stream version. Workers is deliberately absent —
+// worker-count invariance means a run checkpointed at -workers 8 may resume
+// at -workers 1 and still reproduce the uninterrupted output exactly.
+func (sc Scale) configHash(exp string) uint64 {
+	return checkpoint.Hash(
+		exp,
+		fmt.Sprintf("mc=%d", sc.MonteCarloTrials),
+		fmt.Sprintf("cap=%d", sc.AttackMaxSamples),
+		fmt.Sprintf("batch=%d", sc.AttackBatch),
+		fmt.Sprintf("fig2=%d", sc.Figure2Samples),
+		fmt.Sprintf("cbc=%d", sc.CBCBytes),
+		fmt.Sprintf("spec=%d", sc.SpecAccesses),
+		fmt.Sprintf("seed=%d", sc.Seed),
+		fmt.Sprintf("shards=%d", parexp.Shards),
+		fmt.Sprintf("stream=%d", rng.StreamVersion),
+	)
+}
+
+// runShards executes n independent work units of one experiment with
+// optional checkpointing, and is the primitive every resumable experiment
+// is built on. Unit i's result must be a pure function of (sc, i) — never
+// of worker count or of other units — which is what makes the recovery
+// story simple: a unit either completed (its checkpoint holds the exact
+// accumulator bytes) or it didn't (it re-runs from scratch).
+//
+// With sc.Checkpoint set, each unit is flushed through the store the moment
+// it completes, inside the worker, so a cancellation or crash between units
+// loses only work in flight. With sc.Resume also set, units whose
+// checkpoint loads (and whose meta — seed, config hash, stream version —
+// matches) are not re-run; torn, corrupt, or mismatched checkpoints read as
+// missing and the unit re-runs. Results are returned in unit order
+// regardless of which were restored.
+func runShards[T any](ctx context.Context, sc Scale, exp string, n int,
+	seed func(i int) uint64,
+	run func(ctx context.Context, i int) (T, error),
+	marshal func(T) ([]byte, error),
+	unmarshal func([]byte) (T, error),
+) ([]T, error) {
+	hash := sc.configHash(exp)
+	meta := func(i int) checkpoint.Meta {
+		return checkpoint.Meta{
+			Experiment:    exp,
+			Shard:         i,
+			Seed:          seed(i),
+			ConfigHash:    hash,
+			StreamVersion: rng.StreamVersion,
+		}
+	}
+
+	out := make([]T, n)
+	restored := make([]bool, n)
+	if sc.Checkpoint != nil && sc.Resume {
+		for i := 0; i < n; i++ {
+			payload, ok, err := sc.Checkpoint.Get(meta(i))
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			v, err := unmarshal(payload)
+			if err != nil {
+				continue // undecodable payload: treat as missing, re-run
+			}
+			out[i] = v
+			restored[i] = true
+		}
+	}
+	var missing []int
+	for i := 0; i < n; i++ {
+		if !restored[i] {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+	err := sc.engine().ForEachCtx(ctx, len(missing), func(ctx context.Context, k int) error {
+		i := missing[k]
+		v, err := run(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		if sc.Checkpoint != nil {
+			data, err := marshal(v)
+			if err != nil {
+				return err
+			}
+			if err := sc.Checkpoint.Put(meta(i), data); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

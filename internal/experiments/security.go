@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -36,10 +37,43 @@ func t4Region() mem.Region {
 // vs c0^c1 over random-plaintext block encryptions against a demand-fetch
 // cache, with the minimum at k10_0 ^ k10_1.
 func Figure2(sc Scale) *Table {
-	a := attacks.CollectSharded(sc.engine(), attacks.CollisionConfig{
+	t, err := Figure2Ctx(context.Background(), sc)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Figure2Ctx is the resumable Figure2. Its work units are the collision
+// attack's parexp.Shards measurement shards — the same fixed plan
+// attacks.CollectSharded runs — so each checkpoint holds one shard's full
+// CollisionStats and the final merge (in shard-index order) is
+// byte-identical whether the shards came from this run or a prior one.
+func Figure2Ctx(ctx context.Context, sc Scale) (*Table, error) {
+	cfg := attacks.CollisionConfig{
 		Sim:  attackerSim(),
 		Seed: sc.Seed,
-	}, sc.Figure2Samples, parexp.Shards)
+	}
+	atks := attacks.NewShards(cfg, parexp.Shards)
+	counts := parexp.SplitCounts(sc.Figure2Samples, parexp.Shards)
+	states, err := runShards(ctx, sc, "Figure2", parexp.Shards,
+		func(i int) uint64 { return attacks.ShardSeed(cfg, i) },
+		func(_ context.Context, i int) (*attacks.CollisionStats, error) {
+			atks[i].Collect(counts[i])
+			return atks[i].Stats(), nil
+		},
+		func(s *attacks.CollisionStats) ([]byte, error) { return s.MarshalBinary() },
+		func(data []byte) (*attacks.CollisionStats, error) {
+			s := &attacks.CollisionStats{}
+			if err := s.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return s, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	a := attacks.MergeStats(states)
 	chart := a.TimingChart(0)
 	truth := a.TrueXor(0)
 
@@ -68,38 +102,75 @@ func Figure2(sc Scale) *Table {
 	t.AddNote("samples: %d; recovered = %v (paper: minimum at the true XOR after 2^17 samples)",
 		a.Samples(), minIdx == truth)
 	t.AddNote("true value's timing rank: %d of 256 (0 = the minimum)", rank)
-	return t
+	return t, nil
+}
+
+// t3cell is one Table III cell's mergeable result — the full Monte Carlo
+// counts (not just the P1-P2 ratio) plus the search outcome, so the cell
+// checkpoints and restores exactly.
+type t3cell struct {
+	mc  infotheory.P1P2Result
+	res attacks.SearchResult
+}
+
+// t3cellSplit is where the P1P2Result encoding ends and the SearchResult's
+// begins inside a cell checkpoint payload.
+const t3cellSplit = 32
+
+func (c t3cell) MarshalBinary() ([]byte, error) {
+	mc, err := c.mc.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.res.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return append(mc, res...), nil
+}
+
+func (c *t3cell) UnmarshalBinary(data []byte) error {
+	if len(data) < t3cellSplit {
+		return attacks.ErrCorrupt
+	}
+	if err := c.mc.UnmarshalBinary(data[:t3cellSplit]); err != nil {
+		return err
+	}
+	return c.res.UnmarshalBinary(data[t3cellSplit:])
 }
 
 // table3Cell runs one Table III cell: Monte Carlo P1-P2 plus the empirical
 // measurements-to-success search under the cap, both sharded on eng.
-func table3Cell(sc Scale, eng *parexp.Engine, mk func(src *rng.Source) cache.Cache, kind sim.CacheKind, size int) (float64, attacks.SearchResult) {
-	mc := infotheory.MonteCarloP1P2Sharded(eng, infotheory.P1P2Config{
+func table3Cell(ctx context.Context, sc Scale, eng *parexp.Engine, mk func(src *rng.Source) cache.Cache, kind sim.CacheKind, size int) (t3cell, error) {
+	mc, err := infotheory.MonteCarloP1P2ShardedCtx(ctx, eng, infotheory.P1P2Config{
 		NewCache: mk,
 		Window:   rng.Symmetric(size),
 		Trials:   sc.MonteCarloTrials,
 		Region:   t4Region(),
 		Seed:     sc.Seed,
 	}, parexp.Shards)
+	if err != nil {
+		return t3cell{}, err
+	}
 	cfg := attacks.CollisionConfig{Sim: attackerSim(), Seed: sc.Seed}
 	cfg.Sim.L1Kind = kind
 	if size > 1 {
 		cfg.Victim = sim.ThreadConfig{Mode: sim.ModeRandomFill, Window: rng.Symmetric(size)}
 	}
-	res := attacks.MeasurementsToSuccessSharded(eng, cfg, sc.AttackBatch, sc.AttackMaxSamples, parexp.Shards)
-	return mc.Diff(), res
+	res, err := attacks.MeasurementsToSuccessShardedCtx(ctx, eng, cfg, sc.AttackBatch, sc.AttackMaxSamples, parexp.Shards)
+	if err != nil {
+		return t3cell{}, err
+	}
+	return t3cell{mc, res}, nil
 }
 
-// Table3 reproduces Table III: P1-P2 (Monte Carlo) and the number of
-// measurements for a successful collision attack, for window sizes 1..32 on
-// the random fill cache built over the 4-way SA cache and over Newcache.
-func Table3(sc Scale) *Table {
-	t := &Table{
-		Title: "Table III: P1-P2 and measurements for a successful collision attack",
-		Headers: []string{"cache", "window", "P1-P2", "measurements", "outcome",
-			"Eq.5 estimate"},
-	}
-	bases := []struct {
+// table3Bases lists the two random fill base caches Table III compares.
+func table3Bases() []struct {
+	name string
+	kind sim.CacheKind
+	mk   func(src *rng.Source) cache.Cache
+} {
+	return []struct {
 		name string
 		kind sim.CacheKind
 		mk   func(src *rng.Source) cache.Cache
@@ -111,20 +182,51 @@ func Table3(sc Scale) *Table {
 			return newcache.New(32*1024, 4, src)
 		}},
 	}
-	sizes := []int{1, 2, 4, 8, 16, 32}
-	// All 12 cells run concurrently, each itself sharded; Map returns them
-	// in (base, size) order so the table rows are fixed regardless of which
-	// cell finishes first.
-	eng := sc.engine()
-	type cell struct {
-		diff float64
-		res  attacks.SearchResult
+}
+
+// Table3 reproduces Table III: P1-P2 (Monte Carlo) and the number of
+// measurements for a successful collision attack, for window sizes 1..32 on
+// the random fill cache built over the 4-way SA cache and over Newcache.
+func Table3(sc Scale) *Table {
+	t, err := Table3Ctx(context.Background(), sc)
+	if err != nil {
+		panic(err)
 	}
-	cells := parexp.Map(eng, len(bases)*len(sizes), func(i int) cell {
-		base := bases[i/len(sizes)]
-		diff, res := table3Cell(sc, eng, base.mk, base.kind, sizes[i%len(sizes)])
-		return cell{diff, res}
-	})
+	return t
+}
+
+// Table3Ctx is the resumable Table III. Its work unit is one cell — a
+// (base cache, window size) pair's Monte Carlo counts plus its
+// measurements-to-success search. A cell is the smallest independently
+// re-runnable unit: the search stops at the first successful round, and
+// that stopping point depends on all of the cell's shards at every round
+// boundary, so checkpointing below cell granularity would mean serializing
+// mid-stream RNG positions (see DESIGN.md). All cells still run
+// concurrently, each itself sharded, and restore in (base, size) order.
+func Table3Ctx(ctx context.Context, sc Scale) (*Table, error) {
+	t := &Table{
+		Title: "Table III: P1-P2 and measurements for a successful collision attack",
+		Headers: []string{"cache", "window", "P1-P2", "measurements", "outcome",
+			"Eq.5 estimate"},
+	}
+	bases := table3Bases()
+	sizes := []int{1, 2, 4, 8, 16, 32}
+	eng := sc.engine()
+	cells, err := runShards(ctx, sc, "Table3", len(bases)*len(sizes),
+		func(int) uint64 { return sc.Seed },
+		func(ctx context.Context, i int) (t3cell, error) {
+			base := bases[i/len(sizes)]
+			return table3Cell(ctx, sc, eng, base.mk, base.kind, sizes[i%len(sizes)])
+		},
+		func(c t3cell) ([]byte, error) { return c.MarshalBinary() },
+		func(data []byte) (t3cell, error) {
+			var c t3cell
+			err := c.UnmarshalBinary(data)
+			return c, err
+		})
+	if err != nil {
+		return nil, err
+	}
 	for i, c := range cells {
 		base, size := bases[i/len(sizes)], sizes[i%len(sizes)]
 		outcome := fmt.Sprintf("success (%d/15 pairs)", c.res.CorrectPairs)
@@ -136,18 +238,18 @@ func Table3(sc Scale) *Table {
 		}
 		// Equation 5 with the observed sigma_T, the L1 miss
 		// penalty as tmiss-thit, and alpha = 0.99.
-		est := infotheory.MeasurementsRequired(c.diff, 19, c.res.SigmaT, 0.99)
+		est := infotheory.MeasurementsRequired(c.mc.Diff(), 19, c.res.SigmaT, 0.99)
 		estStr := "inf"
 		if !math.IsInf(est, 1) {
 			estStr = fmt.Sprintf("%.0f", est)
 		}
 		t.AddRow(base.name, fmt.Sprintf("%d", size),
-			fmt.Sprintf("%.3f", c.diff), meas, outcome, estStr)
+			fmt.Sprintf("%.3f", c.mc.Diff()), meas, outcome, estStr)
 	}
 	t.AddNote("paper (SA): P1-P2 = 0.652/0.332/0.127/0.044/0.012/0.006; 65k/1.87M/16.7M measurements, no success >= size 8 after 2^24")
 	t.AddNote("paper (Newcache): P1-P2 = 0.576/0.292/0.119/0.045/0.016/0.007; 244k/2.1M, no success >= size 4 after 2^24")
 	t.AddNote("search cap: %d samples; Eq.5 column extrapolates with alpha=0.99, tmiss-thit=19 cycles (L2 hit - L1 hit)", sc.AttackMaxSamples)
-	return t
+	return t, nil
 }
 
 // Table3Cell runs one Table III cell in isolation — the SA-based random
@@ -159,13 +261,16 @@ func Table3Cell(sc Scale, size int) *Table {
 	mk := func(src *rng.Source) cache.Cache {
 		return cache.NewSetAssoc(cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}, cache.LRU{})
 	}
-	diff, res := table3Cell(sc, sc.engine(), mk, sim.KindSA, size)
+	c, err := table3Cell(context.Background(), sc, sc.engine(), mk, sim.KindSA, size)
+	if err != nil {
+		panic(err)
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("Table III cell: RandomFill+4-way SA, window %d", size),
 		Headers: []string{"P1-P2", "measurements", "success"},
 	}
-	t.AddRow(fmt.Sprintf("%.3f", diff), fmt.Sprintf("%d", res.Measurements),
-		fmt.Sprintf("%v", res.Success))
+	t.AddRow(fmt.Sprintf("%.3f", c.mc.Diff()), fmt.Sprintf("%d", c.res.Measurements),
+		fmt.Sprintf("%v", c.res.Success))
 	return t
 }
 

@@ -6,6 +6,7 @@
 package infotheory
 
 import (
+	"context"
 	"math"
 
 	"randfill/internal/aes"
@@ -232,22 +233,36 @@ func MonteCarloP1P2(cfg P1P2Config) P1P2Result {
 // MonteCarloP1P2 at the same cfg.Seed, because the shards draw from split
 // streams.
 func MonteCarloP1P2Sharded(eng *parexp.Engine, cfg P1P2Config, shards int) P1P2Result {
+	res, err := MonteCarloP1P2ShardedCtx(context.Background(), eng, cfg, shards)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// MonteCarloP1P2ShardedCtx is MonteCarloP1P2Sharded with cooperative
+// cancellation between shards; a cancelled run discards the partial counts
+// and returns ctx's error.
+func MonteCarloP1P2ShardedCtx(ctx context.Context, eng *parexp.Engine, cfg P1P2Config, shards int) (P1P2Result, error) {
 	if shards < 1 {
 		shards = 1
 	}
 	seeds := parexp.ShardSeeds(cfg.Seed, shards)
 	counts := parexp.SplitCounts(cfg.Trials, shards)
-	parts := parexp.Map(eng, shards, func(s int) P1P2Result {
+	parts, err := parexp.MapCtx(eng, ctx, shards, func(_ context.Context, s int) (P1P2Result, error) {
 		scfg := cfg
 		scfg.Seed = seeds[s]
 		scfg.Trials = counts[s]
-		return MonteCarloP1P2(scfg)
+		return MonteCarloP1P2(scfg), nil
 	})
+	if err != nil {
+		return P1P2Result{}, err
+	}
 	res := parts[0]
 	for _, p := range parts[1:] {
 		res.Merge(p)
 	}
-	return res
+	return res, nil
 }
 
 // finalRoundRec captures final-round (Te4) lookup indices.

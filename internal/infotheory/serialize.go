@@ -1,0 +1,44 @@
+package infotheory
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrCorrupt reports a P1P2Result encoding that does not frame correctly;
+// the checkpoint layer treats the shard as missing.
+var ErrCorrupt = errors.New("infotheory: corrupt serialized P1P2Result")
+
+// p1p2Size is the encoded size of a P1P2Result: the four integer counts.
+const p1p2Size = 32
+
+// MarshalBinary implements encoding.BinaryMarshaler. Only the integer
+// counts are stored: P1 and P2 are pure functions of the counts and are
+// recomputed on decode, so a round-tripped result is exactly (not just
+// approximately) the original — the division happens once either way.
+func (r P1P2Result) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, p1p2Size)
+	out = binary.LittleEndian.AppendUint64(out, r.CollisionPairs)
+	out = binary.LittleEndian.AppendUint64(out, r.NoCollisionPairs)
+	out = binary.LittleEndian.AppendUint64(out, r.P1Hits)
+	return binary.LittleEndian.AppendUint64(out, r.P2Hits), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (r *P1P2Result) UnmarshalBinary(data []byte) error {
+	if len(data) != p1p2Size {
+		return ErrCorrupt
+	}
+	r.CollisionPairs = binary.LittleEndian.Uint64(data[0:8])
+	r.NoCollisionPairs = binary.LittleEndian.Uint64(data[8:16])
+	r.P1Hits = binary.LittleEndian.Uint64(data[16:24])
+	r.P2Hits = binary.LittleEndian.Uint64(data[24:32])
+	r.P1, r.P2 = 0, 0
+	if r.CollisionPairs > 0 {
+		r.P1 = float64(r.P1Hits) / float64(r.CollisionPairs)
+	}
+	if r.NoCollisionPairs > 0 {
+		r.P2 = float64(r.P2Hits) / float64(r.NoCollisionPairs)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package infotheory
+
+import "testing"
+
+func TestP1P2ResultRoundTripExact(t *testing.T) {
+	r := P1P2Result{CollisionPairs: 1234, NoCollisionPairs: 98765, P1Hits: 700, P2Hits: 43210}
+	r.Merge(P1P2Result{}) // populate P1/P2 from the counts
+	data, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got P1P2Result
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip: got %+v, want %+v", got, r)
+	}
+}
+
+func TestP1P2ResultRoundTripZeroCounts(t *testing.T) {
+	var r P1P2Result
+	data, _ := r.MarshalBinary()
+	var got P1P2Result
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip: got %+v, want %+v", got, r)
+	}
+}
+
+func TestP1P2ResultUnmarshalRejectsBadSize(t *testing.T) {
+	var r P1P2Result
+	for _, n := range []int{0, 31, 33} {
+		if err := r.UnmarshalBinary(make([]byte, n)); err == nil {
+			t.Fatalf("len %d: want error", n)
+		}
+	}
+}

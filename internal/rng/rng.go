@@ -24,6 +24,14 @@ package rng
 
 import "encoding/binary"
 
+// StreamVersion identifies the current byte-stream layout of Bytes/Read
+// (see "Stream version" in the package doc). Persisted artifacts that
+// embed RNG-derived state — notably internal/checkpoint shard files —
+// record this version so a resumed run refuses to merge shards drawn from
+// an incompatible stream. Bump it whenever the mapping from (seed, draw
+// index) to output bytes changes.
+const StreamVersion = 2
+
 // Source is a deterministic pseudo-random number generator (xorshift64*).
 // The zero value is not valid; use New.
 type Source struct {

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Binary encoding for the mergeable accumulators, used by the checkpoint
+// layer to persist completed shards. Floats are encoded as their IEEE-754
+// bit patterns, so decode(encode(x)) reproduces x exactly — the property
+// that makes a resumed run's merge byte-identical to an uninterrupted one.
+
+// runningSize is the encoded size of a Running: n, mean bits, m2 bits.
+const runningSize = 24
+
+// MarshalBinary implements encoding.BinaryMarshaler. The encoding is
+// exact: all three Welford terms round-trip bit-for-bit.
+func (r Running) MarshalBinary() ([]byte, error) {
+	out := make([]byte, runningSize)
+	r.appendTo(out[:0])
+	return out, nil
+}
+
+// appendTo appends r's exact encoding to dst.
+func (r Running) appendTo(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, r.n)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.mean))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.m2))
+}
+
+// ErrCorrupt reports an accumulator encoding that does not frame
+// correctly. The checkpoint layer treats it like a torn file: the shard
+// re-runs.
+var ErrCorrupt = errors.New("stats: corrupt accumulator encoding")
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (r *Running) UnmarshalBinary(data []byte) error {
+	if len(data) != runningSize {
+		return ErrCorrupt
+	}
+	_, err := r.decodeFrom(data)
+	return err
+}
+
+// decodeFrom decodes one Running from the front of data and returns the
+// remainder.
+func (r *Running) decodeFrom(data []byte) ([]byte, error) {
+	if len(data) < runningSize {
+		return nil, ErrCorrupt
+	}
+	r.n = binary.LittleEndian.Uint64(data[0:8])
+	r.mean = math.Float64frombits(binary.LittleEndian.Uint64(data[8:16]))
+	r.m2 = math.Float64frombits(binary.LittleEndian.Uint64(data[16:24]))
+	return data[runningSize:], nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: a group count
+// followed by each group's exact Running encoding.
+func (g *Grouped) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 4+len(g.groups)*runningSize)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(g.groups)))
+	for _, grp := range g.groups {
+		out = grp.appendTo(out)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (g *Grouped) UnmarshalBinary(data []byte) error {
+	rest, err := g.decodeFrom(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// AppendBinary appends g's encoding to dst; the counterpart of DecodeFrom
+// for callers embedding several accumulators in one payload.
+func (g *Grouped) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(g.groups)))
+	for _, grp := range g.groups {
+		dst = grp.appendTo(dst)
+	}
+	return dst
+}
+
+// DecodeFrom decodes one Grouped from the front of data and returns the
+// remainder.
+func (g *Grouped) DecodeFrom(data []byte) ([]byte, error) {
+	return g.decodeFrom(data)
+}
+
+func (g *Grouped) decodeFrom(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(data[:4]))
+	data = data[4:]
+	if n < 0 || len(data) < n*runningSize {
+		return nil, ErrCorrupt
+	}
+	g.groups = make([]Running, n)
+	var err error
+	for i := range g.groups {
+		if data, err = g.groups[i].decodeFrom(data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// AppendRunning appends r's exact binary encoding to dst; exported for
+// payload builders that embed a Running among other fields.
+func AppendRunning(dst []byte, r Running) []byte { return r.appendTo(dst) }
+
+// DecodeRunning decodes one Running from the front of data and returns the
+// remainder.
+func DecodeRunning(data []byte) (Running, []byte, error) {
+	var r Running
+	rest, err := r.decodeFrom(data)
+	return r, rest, err
+}

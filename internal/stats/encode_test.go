@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"randfill/internal/rng"
+)
+
+// fill feeds r a stream of awkward values: tiny magnitudes, huge
+// magnitudes (kept below sqrt(MaxFloat64) so the Welford m2 stays finite
+// and comparable), and ordinary noise, so round-trip exactness is tested
+// where float formatting would lose bits.
+func fill(r *Running, seed uint64, n int) {
+	src := rng.New(seed)
+	for i := 0; i < n; i++ {
+		v := src.Float64()*2e9 - 1e9
+		switch i % 7 {
+		case 3:
+			v *= 1e-120
+		case 5:
+			v *= 1e120
+		}
+		r.Add(v)
+	}
+}
+
+func TestRunningRoundTripExact(t *testing.T) {
+	var r Running
+	fill(&r, 42, 1000)
+	data, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Running
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip not exact:\n got %+v\nwant %+v", got, r)
+	}
+	if math.Float64bits(got.Mean()) != math.Float64bits(r.Mean()) {
+		t.Fatal("mean bits differ after round trip")
+	}
+}
+
+// TestRunningRoundTripMergeExact is the property the checkpoint layer
+// depends on: merging a decoded accumulator gives bit-identical results to
+// merging the live one it was saved from.
+func TestRunningRoundTripMergeExact(t *testing.T) {
+	var a, b Running
+	fill(&a, 1, 500)
+	fill(&b, 2, 700)
+
+	live := a
+	live.Merge(b)
+
+	data, _ := b.MarshalBinary()
+	var restored Running
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	viaDisk := a
+	viaDisk.Merge(restored)
+	if live != viaDisk {
+		t.Fatalf("merge with restored shard diverged:\n got %+v\nwant %+v", viaDisk, live)
+	}
+}
+
+func TestRunningUnmarshalRejectsBadSize(t *testing.T) {
+	var r Running
+	for _, n := range []int{0, 23, 25} {
+		if err := r.UnmarshalBinary(make([]byte, n)); err == nil {
+			t.Fatalf("len %d: want error", n)
+		}
+	}
+}
+
+func TestGroupedRoundTripExact(t *testing.T) {
+	g := NewGrouped(9)
+	src := rng.New(7)
+	for i := 0; i < 2000; i++ {
+		g.Add(int(src.Uint64()%9), src.Float64()*100)
+	}
+	data, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &Grouped{}
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.groups) != len(g.groups) {
+		t.Fatalf("group count %d, want %d", len(got.groups), len(g.groups))
+	}
+	for i := range g.groups {
+		if got.groups[i] != g.groups[i] {
+			t.Fatalf("group %d diverged:\n got %+v\nwant %+v", i, got.groups[i], g.groups[i])
+		}
+	}
+}
+
+func TestGroupedUnmarshalRejectsCorrupt(t *testing.T) {
+	g := NewGrouped(4)
+	g.Add(2, 1.5)
+	data, _ := g.MarshalBinary()
+	got := &Grouped{}
+	if err := got.UnmarshalBinary(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated payload: want error")
+	}
+	if err := got.UnmarshalBinary(append(data, 0)); err == nil {
+		t.Fatal("trailing garbage: want error")
+	}
+	if err := got.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Fatal("short header: want error")
+	}
+}
+
+func TestAppendDecodeRunningStream(t *testing.T) {
+	var a, b Running
+	fill(&a, 11, 40)
+	fill(&b, 12, 60)
+	buf := AppendRunning(nil, a)
+	buf = AppendRunning(buf, b)
+	gotA, rest, err := DecodeRunning(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, rest, err := DecodeRunning(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+	if gotA != a || gotB != b {
+		t.Fatal("streamed round trip diverged")
+	}
+}

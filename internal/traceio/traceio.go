@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 
+	"randfill/internal/atomicio"
 	"randfill/internal/mem"
 )
 
@@ -116,6 +117,30 @@ func Read(r io.Reader) (mem.Trace, error) {
 		t = append(t, a)
 	}
 	return t, nil
+}
+
+// WriteFile serializes the trace to path atomically (temp file + rename,
+// via internal/atomicio): an interrupted generation never leaves a partial
+// trace where a later run would try to Read it. It returns the size of the
+// published file.
+func WriteFile(path string, t mem.Trace) (int64, error) {
+	f, err := atomicio.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := Write(f, t); err != nil {
+		f.Abort()
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Abort()
+		return 0, err
+	}
+	if err := f.Commit(); err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
 }
 
 // DumpText writes the first n records (all if n <= 0) in a human-readable

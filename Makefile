@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint ci cover bench bench-json bench-compare profile experiments fuzz crash-resume clean
+.PHONY: all build test test-short vet lint lint-fast ci cover bench bench-json bench-compare profile experiments fuzz crash-resume clean
 
 all: build lint test
 
@@ -12,10 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Domain-aware static analysis: determinism, RNG hygiene, and simulator
-# invariants (see DESIGN.md "Determinism & lint policy").
+# Domain-aware static analysis: determinism, RNG hygiene, simulator
+# invariants, and interprocedural taint against the leak manifest (see
+# DESIGN.md "Determinism & lint policy" and "Taint analysis & the leak
+# manifest").
 lint: vet
 	$(GO) run ./cmd/rflint ./...
+
+# Incremental lint for the edit loop: the whole module is still loaded and
+# analyzed (cross-package taint needs it), but findings are only reported
+# for packages with files changed since $(SINCE). Changing the lint rules
+# themselves falls back to a full lint.
+SINCE ?= HEAD
+lint-fast:
+	$(GO) run ./cmd/rflint -since $(SINCE)
 
 # What CI runs (.github/workflows/ci.yml).
 ci: build lint

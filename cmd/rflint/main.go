@@ -1,6 +1,7 @@
 // Command rflint runs the repository's domain-aware static analysis: the
 // determinism, RNG-hygiene, and simulator-invariant checkers in
-// internal/analysis/checkers. See DESIGN.md ("Determinism & lint policy").
+// internal/analysis/checkers. See DESIGN.md ("Determinism & lint policy"
+// and "Taint analysis & the leak manifest").
 //
 // Usage:
 //
@@ -8,10 +9,16 @@
 //
 // With no argument (or "./..."), the whole module containing the current
 // directory is analyzed, tests included. A directory argument restricts
-// reporting to the packages under that directory (the rest of the module is
-// still loaded so cross-package types resolve). Findings can be suppressed
-// inline with "//lint:ignore <checker> <reason>" on the offending line or
-// the line above.
+// reporting to the packages under that directory (the whole module is
+// still loaded and analyzed so cross-package taint and types resolve).
+// Findings can be suppressed inline with "//lint:ignore <checker> <reason>"
+// on the offending line or the line above.
+//
+// The ctflow checker's findings are reconciled against the committed leak
+// manifest (LEAKS.json at the module root): findings listed there are the
+// victim packages' intentional leaks and are expected; findings not listed
+// are new leaks; listed entries with no finding mean a victim stopped
+// leaking. Both directions fail the run.
 //
 // Flags:
 //
@@ -20,13 +27,19 @@
 //	-fail-on  sev      exit nonzero at this severity: warning|error|never
 //	-tests=false       skip _test.go files
 //	-list              print the available checkers and exit
+//	-trace             print each finding's source→hop→sink witness path
+//	-manifest path     leak manifest ("auto" = <module>/LEAKS.json, "none" = off)
+//	-write-manifest    regenerate the leak manifest from current findings
+//	-since ref         report only packages with files changed since the git ref
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 
@@ -40,6 +53,10 @@ func main() {
 	failOn := flag.String("fail-on", "warning", "exit nonzero at this severity: warning, error, or never")
 	tests := flag.Bool("tests", true, "include _test.go files")
 	list := flag.Bool("list", false, "list available checkers and exit")
+	trace := flag.Bool("trace", false, "print each finding's source→hop→sink witness path")
+	manifestFlag := flag.String("manifest", "auto", `leak manifest path ("auto" = <module>/LEAKS.json, "none" = disabled)`)
+	writeManifest := flag.Bool("write-manifest", false, "regenerate the leak manifest from current ctflow findings")
+	since := flag.String("since", "", "report only packages with files changed since this git ref")
 	flag.Parse()
 
 	if *list {
@@ -74,28 +91,52 @@ func main() {
 	default:
 		fatal(fmt.Errorf("at most one package argument, got %d", flag.NArg()))
 	}
+	if *since != "" && dir != "." {
+		fatal(fmt.Errorf("-since and a directory argument are mutually exclusive"))
+	}
 
+	modRoot, _, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The whole module is always loaded and analyzed — interprocedural
+	// taint needs every package — and scoping only restricts what is
+	// *reported*.
 	fset, pkgs, err := analysis.Load(analysis.LoadConfig{Dir: dir, Tests: *tests})
 	if err != nil {
 		fatal(err)
 	}
+
+	// scope is the set of package directories to report on; nil = all.
+	var scope map[string]bool
 	if dir != "." {
 		abs, err := filepath.Abs(dir)
 		if err != nil {
 			fatal(err)
 		}
-		var kept []*analysis.Package
+		scope = map[string]bool{}
 		for _, pkg := range pkgs {
 			if pkg.Dir == abs || strings.HasPrefix(pkg.Dir, abs+string(filepath.Separator)) {
-				kept = append(kept, pkg)
+				scope[pkg.Dir] = true
 			}
 		}
-		pkgs = kept
+		if len(scope) == 0 {
+			// testdata/vendor/hidden dirs are skipped; "clean" would be a lie here.
+			fatal(fmt.Errorf("no Go packages found under %s", dir))
+		}
 	}
-	if len(pkgs) == 0 {
-		// testdata/vendor/hidden dirs are skipped; "clean" would be a lie here.
-		fatal(fmt.Errorf("no Go packages found under %s", dir))
+	if *since != "" {
+		scope, err = changedScope(modRoot, *since, pkgs)
+		if err != nil {
+			fatal(err)
+		}
+		if scope != nil && len(scope) == 0 {
+			fmt.Printf("rflint: no packages changed since %s\n", *since)
+			return
+		}
 	}
+
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "rflint: %s: type error (analysis degraded): %v\n", pkg.Path, terr)
@@ -105,6 +146,52 @@ func main() {
 	diags, err := analysis.Run(fset, pkgs, azs)
 	if err != nil {
 		fatal(err)
+	}
+	if scope != nil {
+		var kept []analysis.Diagnostic
+		for _, d := range diags {
+			if scope[filepath.Dir(d.File)] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+
+	// Reconcile ctflow findings with the leak manifest.
+	manifestPath := ""
+	switch *manifestFlag {
+	case "none":
+	case "auto", "":
+		p := filepath.Join(modRoot, analysis.ManifestName)
+		if _, err := os.Stat(p); err == nil || *writeManifest {
+			manifestPath = p
+		}
+	default:
+		manifestPath = *manifestFlag
+	}
+	if *writeManifest {
+		if manifestPath == "" {
+			fatal(fmt.Errorf("-write-manifest needs a manifest path (-manifest is %q)", *manifestFlag))
+		}
+		old, _ := analysis.LoadManifest(manifestPath)
+		m := analysis.BuildManifest(diags, modRoot, old)
+		if err := m.WriteManifest(manifestPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rflint: wrote %d leak sites to %s\n", len(m.Leaks), manifestPath)
+	}
+	if manifestPath != "" {
+		m, err := analysis.LoadManifest(manifestPath)
+		if err != nil {
+			fatal(err)
+		}
+		var inScope func(string) bool
+		if scope != nil {
+			inScope = func(rel string) bool {
+				return scope[filepath.Join(modRoot, filepath.FromSlash(filepath.Dir(rel)))]
+			}
+		}
+		diags = m.Apply(diags, modRoot, inScope)
 	}
 
 	if *jsonOut {
@@ -119,6 +206,15 @@ func main() {
 	} else {
 		for _, d := range diags {
 			fmt.Println(d)
+			if *trace {
+				for _, s := range d.Trace {
+					if s.File != "" {
+						fmt.Printf("    %s:%d: %s\n", s.File, s.Line, s.Desc)
+					} else {
+						fmt.Printf("    %s\n", s.Desc)
+					}
+				}
+			}
 		}
 		if len(diags) == 0 {
 			fmt.Println("rflint: clean")
@@ -137,6 +233,57 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// changedScope maps `git diff --name-only <ref>` (plus untracked files) to
+// the set of package directories to report on. A change to the analysis
+// framework, the checkers, this command, or go.mod invalidates every
+// package's verdict, so those return a nil scope (= full lint).
+func changedScope(modRoot, ref string, pkgs []*analysis.Package) (map[string]bool, error) {
+	files, err := gitLines(modRoot, "diff", "--name-only", ref, "--")
+	if err != nil {
+		return nil, fmt.Errorf("-since %s: %w", ref, err)
+	}
+	untracked, err := gitLines(modRoot, "ls-files", "--others", "--exclude-standard")
+	if err != nil {
+		return nil, fmt.Errorf("-since %s: %w", ref, err)
+	}
+	files = append(files, untracked...)
+
+	byDir := map[string]bool{}
+	for _, pkg := range pkgs {
+		byDir[pkg.Dir] = false
+	}
+	scope := map[string]bool{}
+	for _, f := range files {
+		if f == "go.mod" || f == "go.sum" ||
+			strings.HasPrefix(f, "internal/analysis/") ||
+			strings.HasPrefix(f, "cmd/rflint/") {
+			return nil, nil // the lint rules themselves changed: full lint
+		}
+		dir := filepath.Join(modRoot, filepath.FromSlash(filepath.Dir(f)))
+		if _, ok := byDir[dir]; ok {
+			scope[dir] = true
+		}
+	}
+	return scope, nil
+}
+
+func gitLines(dir string, args ...string) ([]string, error) {
+	cmd := exec.Command("git", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("git %s: %v: %s", strings.Join(args, " "), err, strings.TrimSpace(errBuf.String()))
+	}
+	var lines []string
+	for _, l := range strings.Split(out.String(), "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines, nil
 }
 
 func fatal(err error) {

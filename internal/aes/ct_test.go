@@ -1,0 +1,70 @@
+package aes
+
+import (
+	"testing"
+
+	"randfill/internal/rng"
+)
+
+// TestEncryptCTMatchesEncrypt proves the constant-time path computes the
+// same cipher: same schedule from SetKeyCT, same blocks from EncryptCT,
+// across all three key sizes.
+func TestEncryptCTMatchesEncrypt(t *testing.T) {
+	src := rng.New(0xC7AE5)
+	for _, keyLen := range []int{16, 24, 32} {
+		for trial := 0; trial < 25; trial++ {
+			key := make([]byte, keyLen)
+			for i := range key {
+				key[i] = byte(src.Uint64())
+			}
+			ref, err := New(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, err := NewCT(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.LastRoundKey() != ct.LastRoundKey() {
+				t.Fatalf("key %d trial %d: SetKeyCT schedule diverges from SetKey", keyLen, trial)
+			}
+
+			var pt, want, got [16]byte
+			for i := range pt {
+				pt[i] = byte(src.Uint64())
+			}
+			ref.Encrypt(want[:], pt[:], nil)
+			ct.EncryptCT(got[:], pt[:])
+			if want != got {
+				t.Fatalf("key %d trial %d: EncryptCT = %x, Encrypt = %x", keyLen, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestEncryptCTAliasing(t *testing.T) {
+	key := make([]byte, 16)
+	for i := range key {
+		key[i] = byte(i * 11)
+	}
+	c, err := NewCT(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("sixteen byte blk")
+	var want [16]byte
+	c.Encrypt(want[:], buf, nil)
+	c.EncryptCT(buf, buf)
+	if string(buf) != string(want[:]) {
+		t.Fatalf("in-place EncryptCT = %x, want %x", buf, want)
+	}
+}
+
+func TestSetKeyCTRejectsBadSizes(t *testing.T) {
+	c := &Cipher{}
+	for _, n := range []int{0, 15, 17, 31, 33} {
+		if err := c.SetKeyCT(make([]byte, n)); err == nil {
+			t.Fatalf("SetKeyCT accepted %d-byte key", n)
+		}
+	}
+}

@@ -72,6 +72,16 @@ type Diagnostic struct {
 	Checker  string   `json:"checker"`
 	Severity Severity `json:"severity"`
 	Message  string   `json:"message"`
+	// Trace, when present, is the source→hop→sink witness path behind the
+	// finding (interprocedural checkers only). rflint -trace prints it.
+	Trace []TraceStep `json:"trace,omitempty"`
+}
+
+// TraceStep is one hop of a Diagnostic's witness path.
+type TraceStep struct {
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Desc string `json:"desc"`
 }
 
 func (d Diagnostic) String() string {
@@ -87,6 +97,39 @@ type Analyzer interface {
 	Doc() string
 	// Run inspects one type-checked package and reports findings on pass.
 	Run(pass *Pass) error
+}
+
+// ModuleAnalyzer is an Analyzer that needs the whole module at once —
+// interprocedural analyses whose verdict about one package depends on code
+// in another. RunModule is called exactly once per analysis run with every
+// loaded package; the per-package Run is still invoked and is typically a
+// no-op for implementations of this interface.
+type ModuleAnalyzer interface {
+	Analyzer
+	RunModule(pass *ModulePass) error
+}
+
+// ModulePass carries the whole module through one ModuleAnalyzer.
+type ModulePass struct {
+	Analyzer Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding at pos with an optional witness trace.
+func (p *ModulePass) Report(pos token.Pos, sev Severity, msg string, trace []TraceStep) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Checker:  p.Analyzer.Name(),
+		Severity: sev,
+		Message:  msg,
+		Trace:    trace,
+	})
 }
 
 // Pass carries one package through one analyzer.

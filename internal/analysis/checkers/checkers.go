@@ -6,6 +6,8 @@
 //   - rngshare:    rng streams are threaded, never ambiently shared
 //   - errcheck-io: experiment I/O errors must not be dropped
 //   - ctindex:     only designated victim packages may index by secrets
+//   - ctflow:      interprocedural taint: secrets reach memory indices,
+//     branches, and div/mod only at manifest-inventoried victim sites
 //   - simlayer:    internal/sim constructs caches only in level builders
 //   - atomicwrite: result artifacts are written via internal/atomicio
 //
@@ -29,6 +31,7 @@ func All() []analysis.Analyzer {
 		rngshare{},
 		errcheckIO{},
 		ctindex{},
+		ctflow{},
 		simlayer{},
 		atomicwrite{},
 	}
@@ -60,9 +63,23 @@ func ByName(names string) ([]analysis.Analyzer, error) {
 
 // calleeFunc resolves the *types.Func a call invokes (package function,
 // method, or interface method), or nil when it cannot be resolved (builtin,
-// function-typed variable, or missing type info).
+// function-typed variable, or missing type info). Generic instantiation
+// (f[T](...) parses the callee as an IndexExpr or IndexListExpr) is
+// unwrapped, so generic calls resolve like plain ones.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	fun := ast.Unparen(call.Fun)
+	for {
+		switch f := fun.(type) {
+		case *ast.IndexExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		case *ast.IndexListExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		}
+		break
+	}
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		fn, _ := info.Uses[fun].(*types.Func)
 		return fn

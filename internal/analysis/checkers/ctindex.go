@@ -2,10 +2,10 @@ package checkers
 
 import (
 	"go/ast"
-	"go/types"
 	"regexp"
 
 	"randfill/internal/analysis"
+	"randfill/internal/analysis/flow"
 )
 
 // ctindex flags array/slice indexing whose index expression is derived
@@ -43,22 +43,21 @@ func (ctindex) Run(pass *analysis.Pass) error {
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
+			// *ast.IndexListExpr is always generic instantiation (multiple
+			// type arguments) — never a memory access — and a single-arg
+			// instantiation parses as an IndexExpr whose index is a type;
+			// both are skipped. Conversely, indexing a type-parameter value
+			// whose constraint only admits arrays/slices IS a memory access
+			// (flow.IndexableMemory walks the constraint), so generic code
+			// cannot dodge the check.
 			idx, ok := n.(*ast.IndexExpr)
 			if !ok {
 				return true
 			}
-			t := info.TypeOf(idx.X)
-			if t == nil {
+			if tv, ok := info.Types[idx.Index]; ok && tv.IsType() {
 				return true
 			}
-			switch t.Underlying().(type) {
-			case *types.Array, *types.Slice:
-			case *types.Pointer:
-				ptr := t.Underlying().(*types.Pointer)
-				if _, isArr := ptr.Elem().Underlying().(*types.Array); !isArr {
-					return true
-				}
-			default:
+			if !flow.IndexableMemory(info.TypeOf(idx.X)) {
 				return true
 			}
 			if id := secretIdent(idx.Index); id != nil {
@@ -73,17 +72,43 @@ func (ctindex) Run(pass *analysis.Pass) error {
 
 // secretIdent returns the first identifier inside expr whose name looks
 // like a secret, ignoring identifiers that are function names of calls
-// (hashKey(i) indexes by a hash, not by the key itself... but the hash of
-// a secret is still flagged via its arguments).
+// (keyHash(i) indexes by a hash, not by the key itself... but the hash of
+// a secret is still flagged via its arguments). ast.Inspect visits a
+// CallExpr before its children, so the callee identifier — including one
+// buried under generic instantiation — is marked skipped before the walk
+// reaches it; receivers and arguments are still visited.
 func secretIdent(expr ast.Expr) *ast.Ident {
 	var found *ast.Ident
+	skip := map[*ast.Ident]bool{}
 	ast.Inspect(expr, func(n ast.Node) bool {
 		if found != nil {
 			return false
 		}
-		if id, ok := n.(*ast.Ident); ok && secretName.MatchString(id.Name) {
-			found = id
-			return false
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			for {
+				switch f := fun.(type) {
+				case *ast.IndexExpr:
+					fun = ast.Unparen(f.X)
+					continue
+				case *ast.IndexListExpr:
+					fun = ast.Unparen(f.X)
+					continue
+				}
+				break
+			}
+			switch f := fun.(type) {
+			case *ast.Ident:
+				skip[f] = true
+			case *ast.SelectorExpr:
+				skip[f.Sel] = true
+			}
+		case *ast.Ident:
+			if !skip[n] && secretName.MatchString(n.Name) {
+				found = n
+				return false
+			}
 		}
 		return true
 	})

@@ -1,0 +1,292 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is an intraprocedural control-flow graph over one function body.
+// Blocks hold the statements (and bare condition expressions) they execute,
+// in order; edges are the possible successors. The taint engine runs a
+// forward may-analysis over it: block in-states are the join (union) of all
+// predecessor out-states, iterated to a fixpoint, so taint introduced on
+// any path — including loop-carried taint — reaches every statement it can
+// reach at runtime.
+//
+// Condition expressions (if/for conditions, switch tags, case expressions)
+// appear in blocks as bare ast.Expr nodes; everything else appears as the
+// ast.Stmt that contains it. The distinction lets the transfer function
+// treat a tainted bare expression as a branch sink: control flow is about
+// to depend on it.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+}
+
+// Block is one straight-line run of nodes with its successor edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// BuildCFG constructs the CFG of one function body. It handles the full
+// statement grammar: if/else, for (all three clauses), range, switch,
+// type switch, select, labeled break/continue, goto (forward and
+// backward), fallthrough, and return. Unreachable blocks (e.g. code after
+// a return) are still present but have no incoming edges, so the dataflow
+// engine never visits them.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*labelInfo{}}
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	return b.cfg
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	ctxs   []flowCtx // enclosing loop/switch/select contexts
+	fall   *Block    // fallthrough target inside a switch clause
+	labels map[string]*labelInfo
+}
+
+// flowCtx is one enclosing breakable construct. cont is non-nil only for
+// loops.
+type flowCtx struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+type labelInfo struct {
+	block   *Block   // goto target once the label is reached
+	pending []*Block // blocks that jumped forward before the label existed
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if to != nil {
+		from.Succs = append(from.Succs, to)
+	}
+}
+
+func (b *cfgBuilder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+func (b *cfgBuilder) label(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		b.cur = target
+		li.block = target
+		for _, p := range li.pending {
+			b.edge(p, target)
+		}
+		li.pending = nil
+		b.stmt(s.Stmt, s.Label.Name)
+	case *ast.IfStmt:
+		b.stmt(s.Init, "")
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		b.stmt(s.Init, "")
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		b.ctxs = append(b.ctxs, flowCtx{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.ctxs = b.ctxs[:len(b.ctxs)-1]
+		b.edge(b.cur, post)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post, "")
+			b.edge(b.cur, head)
+		}
+		b.cur = after
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(s) // evaluates X and assigns the key/value variables
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.ctxs = append(b.ctxs, flowCtx{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.ctxs = b.ctxs[:len(b.ctxs)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.stmt(s.Init, "")
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.buildSwitch(s.Body.List, label, func(cc *ast.CaseClause, blk *Block) {
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+		})
+	case *ast.TypeSwitchStmt:
+		b.stmt(s.Init, "")
+		b.add(s) // taints the per-clause implicit variables from the operand
+		b.buildSwitch(s.Body.List, label, nil)
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		b.ctxs = append(b.ctxs, flowCtx{label: label, brk: after})
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			b.stmt(cc.Comm, "")
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.ctxs = b.ctxs[:len(b.ctxs)-1]
+		b.cur = after
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = b.newBlock() // dead: nothing follows a return on this path
+	default:
+		// Assign, Decl, Expr, IncDec, Send, Go, Defer, Empty.
+		if _, ok := s.(*ast.EmptyStmt); !ok {
+			b.add(s)
+		}
+	}
+}
+
+// buildSwitch shares the clause scaffolding of value and type switches.
+// addExprs, when non-nil, places the clause's case expressions into its
+// block (value switches only; type-switch cases list types, not values).
+func (b *cfgBuilder) buildSwitch(clauses []ast.Stmt, label string, addExprs func(*ast.CaseClause, *Block)) {
+	head := b.cur
+	after := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cs := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc, ok := cs.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.ctxs = append(b.ctxs, flowCtx{label: label, brk: after})
+	savedFall := b.fall
+	for i, cs := range clauses {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = blocks[i]
+		if addExprs != nil {
+			addExprs(cc, blocks[i])
+		}
+		if i+1 < len(blocks) {
+			b.fall = blocks[i+1]
+		} else {
+			b.fall = after
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.fall = savedFall
+	b.ctxs = b.ctxs[:len(b.ctxs)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.ctxs) - 1; i >= 0; i-- {
+			if name == "" || b.ctxs[i].label == name {
+				b.edge(b.cur, b.ctxs[i].brk)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.ctxs) - 1; i >= 0; i-- {
+			if b.ctxs[i].cont != nil && (name == "" || b.ctxs[i].label == name) {
+				b.edge(b.cur, b.ctxs[i].cont)
+				break
+			}
+		}
+	case token.GOTO:
+		li := b.label(name)
+		if li.block != nil {
+			b.edge(b.cur, li.block)
+		} else {
+			li.pending = append(li.pending, b.cur)
+		}
+	case token.FALLTHROUGH:
+		b.edge(b.cur, b.fall)
+	}
+	b.cur = b.newBlock() // dead: the jump always leaves this path
+}

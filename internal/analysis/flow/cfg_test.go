@@ -1,0 +1,347 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFor parses src as the body of a function and returns its CFG plus
+// the fileset.
+func buildFor(t *testing.T, body string) (*CFG, *token.FileSet) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "a.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fn.Body), fset
+}
+
+// reachable returns the set of block indices reachable from the entry.
+func reachable(g *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// nodeBlock finds the reachable block containing a node whose source text
+// contains substr; -1 when absent.
+func nodeBlock(t *testing.T, g *CFG, fset *token.FileSet, src, substr string) int {
+	t.Helper()
+	lines := strings.Split(src, "\n")
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			line := fset.Position(n.Pos()).Line
+			if line-1 < len(lines) && strings.Contains(lines[line-1], substr) {
+				return b.Index
+			}
+		}
+	}
+	return -1
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g, _ := buildFor(t, `
+		x := 1
+		if x > 0 {
+			x = 2
+		} else {
+			x = 3
+		}
+		x = 4`)
+	r := reachable(g)
+	if len(r) != len(g.Blocks) {
+		t.Errorf("if/else: %d blocks, %d reachable", len(g.Blocks), len(r))
+	}
+	// The condition block must have two successors (then, else).
+	var condBlk *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, isExpr := n.(ast.Expr); isExpr {
+				condBlk = b
+			}
+		}
+	}
+	if condBlk == nil || len(condBlk.Succs) != 2 {
+		t.Fatalf("condition block missing or wrong successors: %+v", condBlk)
+	}
+}
+
+func TestCFGIfNoElseFallsThrough(t *testing.T) {
+	g, _ := buildFor(t, `
+		x := 1
+		if x > 0 {
+			x = 2
+		}
+		x = 4`)
+	if len(reachable(g)) != len(g.Blocks) {
+		t.Errorf("if without else left unreachable blocks")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g, _ := buildFor(t, `
+		s := 0
+		for i := 0; i < 10; i++ {
+			s += i
+		}
+		_ = s`)
+	r := reachable(g)
+	if len(r) != len(g.Blocks) {
+		t.Errorf("for: %d blocks, %d reachable", len(g.Blocks), len(r))
+	}
+	// Loop implies a cycle: some reachable block must be its own ancestor.
+	if !hasCycle(g) {
+		t.Error("for loop produced an acyclic CFG")
+	}
+}
+
+func TestCFGInfiniteLoopWithBreak(t *testing.T) {
+	src := `
+		x := 0
+		for {
+			x++
+			if x > 3 {
+				break
+			}
+		}
+		x = 99`
+	g, fset := buildFor(t, src)
+	if bi := nodeBlock(t, g, fset, "package p\nfunc f() {\n"+src+"\n}\n", "x = 99"); bi < 0 {
+		t.Error("statement after break-terminated infinite loop not reachable")
+	} else if !reachable(g)[bi] {
+		t.Error("after-loop block unreachable despite break")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	g, _ := buildFor(t, `
+		s := []int{1, 2}
+		t := 0
+		for _, v := range s {
+			t += v
+		}
+		_ = t`)
+	if !hasCycle(g) {
+		t.Error("range loop produced an acyclic CFG")
+	}
+	if len(reachable(g)) != len(g.Blocks) {
+		t.Error("range left unreachable blocks")
+	}
+}
+
+func TestCFGSwitchFallthroughAndDefault(t *testing.T) {
+	src := `
+		x := 1
+		y := 0
+		switch x {
+		case 1:
+			y = 1
+			fallthrough
+		case 2:
+			y = 2
+		default:
+			y = 3
+		}
+		_ = y`
+	g, fset := buildFor(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	b1 := nodeBlock(t, g, fset, full, "y = 1")
+	b2 := nodeBlock(t, g, fset, full, "y = 2")
+	if b1 < 0 || b2 < 0 {
+		t.Fatal("case bodies not found")
+	}
+	// fallthrough: case-1 block must have case-2's block as a successor.
+	found := false
+	for _, s := range g.Blocks[b1].Succs {
+		if s.Index == b2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fallthrough edge missing")
+	}
+	// The fallthrough statement ends its path, leaving a dead continuation
+	// block — by design present but unreachable. The after-switch statement
+	// must still be reachable.
+	if bi := nodeBlock(t, g, fset, full, "_ = y"); bi < 0 || !reachable(g)[bi] {
+		t.Error("after-switch statement unreachable")
+	}
+}
+
+func TestCFGSwitchNoDefaultSkips(t *testing.T) {
+	src := `
+		x := 1
+		switch x {
+		case 1:
+			x = 2
+		}
+		x = 9`
+	g, fset := buildFor(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	if bi := nodeBlock(t, g, fset, full, "x = 9"); bi < 0 || !reachable(g)[bi] {
+		t.Error("no-default switch must reach the after block directly")
+	}
+}
+
+func TestCFGDeadCodeAfterReturn(t *testing.T) {
+	src := `
+		x := 1
+		if x > 0 {
+			return
+		}
+		x = 2`
+	g, fset := buildFor(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	bi := nodeBlock(t, g, fset, full, "x = 2")
+	if bi < 0 {
+		t.Fatal("x = 2 not in CFG")
+	}
+	if !reachable(g)[bi] {
+		t.Error("x = 2 is reachable via the false branch; must not be dead")
+	}
+	// But a statement after an unconditional return is dead:
+	src2 := `
+		return
+		x := 1
+		_ = x`
+	g2, fset2 := buildFor(t, src2)
+	full2 := "package p\nfunc f() {\n" + src2 + "\n}\n"
+	if bi := nodeBlock(t, g2, fset2, full2, "x := 1"); bi >= 0 && reachable(g2)[bi] {
+		t.Error("statement after unconditional return must be unreachable")
+	}
+}
+
+func TestCFGGotoForwardAndBackward(t *testing.T) {
+	src := `
+		i := 0
+	loop:
+		i++
+		if i < 3 {
+			goto loop
+		}
+		if i > 10 {
+			goto done
+		}
+		i = 5
+	done:
+		_ = i`
+	g, fset := buildFor(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	if !hasCycle(g) {
+		t.Error("backward goto produced no cycle")
+	}
+	for _, stmt := range []string{"i = 5", "_ = i"} {
+		if bi := nodeBlock(t, g, fset, full, stmt); bi < 0 || !reachable(g)[bi] {
+			t.Errorf("%q unreachable", stmt)
+		}
+	}
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	src := `
+		n := 0
+	outer:
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if j == 1 {
+					continue outer
+				}
+				if i == 2 {
+					break outer
+				}
+				n++
+			}
+		}
+		n = 77`
+	g, fset := buildFor(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	if bi := nodeBlock(t, g, fset, full, "n = 77"); bi < 0 || !reachable(g)[bi] {
+		t.Error("labeled break must reach the after-loop block")
+	}
+	if !hasCycle(g) {
+		t.Error("nested loops produced no cycle")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	src := `
+		ch := make(chan int)
+		done := 0
+		select {
+		case v := <-ch:
+			done = v
+		default:
+			done = 1
+		}
+		_ = done`
+	g, fset := buildFor(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	for _, stmt := range []string{"done = v", "done = 1", "_ = done"} {
+		if bi := nodeBlock(t, g, fset, full, stmt); bi < 0 || !reachable(g)[bi] {
+			t.Errorf("select: %q unreachable", stmt)
+		}
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	src := `
+		var x interface{} = 1
+		y := 0
+		switch v := x.(type) {
+		case int:
+			y = v
+		case string:
+			y = len(v)
+		}
+		_ = y`
+	g, fset := buildFor(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	for _, stmt := range []string{"y = v", "y = len(v)", "_ = y"} {
+		if bi := nodeBlock(t, g, fset, full, stmt); bi < 0 || !reachable(g)[bi] {
+			t.Errorf("type switch: %q unreachable", stmt)
+		}
+	}
+}
+
+// hasCycle reports whether the reachable subgraph contains a cycle.
+func hasCycle(g *CFG) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Blocks))
+	var visit func(*Block) bool
+	visit = func(b *Block) bool {
+		color[b.Index] = gray
+		for _, s := range b.Succs {
+			switch color[s.Index] {
+			case gray:
+				return true
+			case white:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[b.Index] = black
+		return false
+	}
+	return visit(g.Entry)
+}

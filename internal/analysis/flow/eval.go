@@ -1,0 +1,470 @@
+package flow
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && types.Identical(t, errorType)
+}
+
+// isNil reports whether e is the predeclared nil (possibly parenthesized).
+func (ex *execCtx) isNil(e ast.Expr) bool {
+	tv, ok := ex.info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func isIntExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sink reports one secret-dependent sink: param-contingent taint goes into
+// the function summary (realized at call sites), root-bearing taint
+// becomes a finding during the recording sweep.
+func (ex *execCtx) sink(st state, kind SinkKind, pos token.Pos, expr string, t taint) {
+	if t.empty() {
+		return
+	}
+	if t.params != 0 {
+		ex.fi.sum.addSink(pos, kind, expr, t.params, t.tr)
+	}
+	if ex.sweep && t.roots.any() {
+		ex.a.recordFinding(pos, kind, expr, t)
+	}
+}
+
+// eval computes an expression's taint, performing side effects (call
+// summaries, sinks) along the way. Error values are public by policy:
+// which error occurred is control-plane data the leak model does not
+// track, and exempting it keeps `if err != nil` after a call with secret
+// arguments from drowning the real branch sinks.
+func (ex *execCtx) eval(st state, e ast.Expr) taint {
+	t := ex.evalInner(st, e)
+	if isErrorExpr(ex.info, e) {
+		return taint{}
+	}
+	return t
+}
+
+func (ex *execCtx) evalInner(st state, e ast.Expr) taint {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := ex.objOf(e)
+		if obj == nil {
+			return taint{}
+		}
+		if id, ok := ex.a.fieldRoot[obj]; ok {
+			return taint{roots: bits{}.with(id), tr: ex.a.roots[id].tr}
+		}
+		return st[obj]
+	case *ast.ParenExpr:
+		return ex.evalInner(st, e.X)
+	case *ast.SelectorExpr:
+		xt := ex.eval(st, e.X)
+		if field := ex.fieldOf(e); field != nil {
+			if id, ok := ex.a.fieldRoot[field]; ok {
+				rt := taint{roots: bits{}.with(id), tr: ex.a.roots[id].tr}
+				return join(rt, xt)
+			}
+		}
+		return xt
+	case *ast.BasicLit:
+		return taint{}
+	case *ast.BinaryExpr:
+		t := join(ex.eval(st, e.X), ex.eval(st, e.Y))
+		if (e.Op == token.EQL || e.Op == token.NEQ) && (ex.isNil(e.X) || ex.isNil(e.Y)) {
+			// Pointer/interface identity against nil is public by policy:
+			// whether a recorder or buffer is wired up is program structure,
+			// not secret content, and `if rec != nil` guards around every
+			// victim's instrumentation would otherwise drown real branches.
+			return taint{}
+		}
+		if (e.Op == token.QUO || e.Op == token.REM) && isIntExpr(ex.info, e.X) {
+			// Integer division latency varies with operand magnitude on
+			// real hardware — the variable-latency sink class.
+			ex.sink(st, SinkDivMod, e.OpPos, ex.text(e), t)
+		}
+		return t
+	case *ast.UnaryExpr:
+		return ex.eval(st, e.X)
+	case *ast.StarExpr:
+		return ex.eval(st, e.X)
+	case *ast.CallExpr:
+		res := ex.call(st, e)
+		if len(res) == 1 {
+			return res[0]
+		}
+		var t taint
+		for _, r := range res {
+			t = join(t, r)
+		}
+		return t
+	case *ast.IndexExpr:
+		if tv, ok := ex.info.Types[e.Index]; ok && tv.IsType() {
+			return taint{} // generic instantiation used as a value
+		}
+		xt := ex.eval(st, e.X)
+		it := ex.eval(st, e.Index)
+		if IndexableMemory(ex.info.TypeOf(e.X)) {
+			ex.sink(st, SinkIndex, e.Lbrack, ex.text(e), it)
+		}
+		// Which element was read is a function of the index, so a tainted
+		// index taints the element.
+		return join(xt, it)
+	case *ast.IndexListExpr:
+		return taint{} // generic instantiation (multiple type args)
+	case *ast.SliceExpr:
+		xt := ex.eval(st, e.X)
+		var bt taint
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				bt = join(bt, ex.eval(st, b))
+			}
+		}
+		if IndexableMemory(ex.info.TypeOf(e.X)) {
+			// Slice bounds address memory exactly like an index does.
+			ex.sink(st, SinkIndex, e.Lbrack, ex.text(e), bt)
+		}
+		return join(xt, bt)
+	case *ast.CompositeLit:
+		var t taint
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t = join(t, ex.eval(st, kv.Key))
+				t = join(t, ex.eval(st, kv.Value))
+				continue
+			}
+			t = join(t, ex.eval(st, el))
+		}
+		return t
+	case *ast.TypeAssertExpr:
+		return ex.eval(st, e.X)
+	case *ast.FuncLit:
+		ex.funcLit(st, e)
+		return taint{}
+	case *ast.KeyValueExpr:
+		return ex.eval(st, e.Value)
+	}
+	return taint{}
+}
+
+// evalMulti evaluates a single expression expected to produce n values
+// (call, type assertion, map index, channel receive in tuple form).
+func (ex *execCtx) evalMulti(st state, e ast.Expr, n int) []taint {
+	out := make([]taint, n)
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		res := ex.call(st, e)
+		copy(out, res)
+	default:
+		// v, ok := x.(T) / m[k] / <-ch: the value carries the operand's
+		// taint; the ok/bool is public (presence, not content).
+		out[0] = ex.eval(st, e)
+		if n > 1 {
+			out[1] = taint{}
+		}
+	}
+	for i := range out {
+		if sig, ok := ex.info.TypeOf(e).(*types.Tuple); ok && i < sig.Len() {
+			if types.Identical(sig.At(i).Type(), errorType) {
+				out[i] = taint{}
+			}
+		}
+	}
+	return out
+}
+
+// funcLit analyzes a function literal against a snapshot of the current
+// state: sinks inside closures over tainted variables are found (and feed
+// the enclosing function's summary), but taint entering through the
+// literal's own parameters is not tracked — a documented engine limit.
+func (ex *execCtx) funcLit(st state, e *ast.FuncLit) {
+	init := cloneState(st)
+	for _, field := range e.Type.Params.List {
+		for _, name := range field.Names {
+			if obj, ok := ex.info.Defs[name].(*types.Var); ok {
+				delete(init, obj)
+			}
+		}
+	}
+	ex.run(BuildCFG(e.Body), init)
+}
+
+// ---- calls ----
+
+// call evaluates a call expression: builtins and conversions inline,
+// module-local callees through their summaries, everything else through
+// the unknown-call policy (results tainted by arguments; writes through
+// pointer arguments not modeled — interfaces like the victims' Recorder
+// thereby act as declassification boundaries, which is exactly the
+// measurement boundary of the attack model).
+func (ex *execCtx) call(st state, call *ast.CallExpr) []taint {
+	if res, ok := ex.builtinCall(st, call); ok {
+		return res
+	}
+	if tv, ok := ex.info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: T(x) is x.
+		if len(call.Args) == 1 {
+			return []taint{ex.eval(st, call.Args[0])}
+		}
+		return nil
+	}
+
+	callee := ex.a.resolveCallee(ex.info, call)
+
+	// Evaluate the receiver (if any) and arguments in source order.
+	var recvExpr ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := ex.info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recvExpr = sel.X
+		}
+	}
+	var recvT taint
+	if recvExpr != nil {
+		recvT = ex.eval(st, recvExpr)
+	} else {
+		ex.evalInner(st, call.Fun) // func-typed expression, closures etc.
+	}
+	argT := make([]taint, len(call.Args))
+	for i, arg := range call.Args {
+		argT[i] = ex.eval(st, arg)
+	}
+
+	if callee == nil {
+		return ex.unknownCall(st, call, recvT, argT)
+	}
+	if callee.sanitizer {
+		// Designated constant-time helper / declassifier: arguments still
+		// flow in (sinks inside it are its own business), results are
+		// public.
+		n := resultCount(ex.info, call)
+		return make([]taint, n)
+	}
+
+	// Align arguments to the callee's receiver-first parameter list. For a
+	// method expression T.f(recv, ...) the receiver is already the first
+	// call argument, so the lists line up without prepending.
+	vals := argT
+	argExprs := append([]ast.Expr(nil), call.Args...)
+	if recvOf(callee) != nil && recvExpr != nil {
+		vals = append([]taint{recvT}, vals...)
+		argExprs = append([]ast.Expr{recvExpr}, argExprs...)
+	}
+	params := make([]taint, len(callee.params))
+	exprs := make([]ast.Expr, len(callee.params))
+	for i, v := range vals {
+		if i >= len(params) {
+			// Variadic overflow joins into the last parameter.
+			if len(params) > 0 {
+				params[len(params)-1] = join(params[len(params)-1], v)
+			}
+			continue
+		}
+		params[i], exprs[i] = v, argExprs[i]
+	}
+
+	name := callee.obj.Name()
+	sum := callee.sum
+
+	// Realize the callee's summary against these arguments.
+	for _, sk := range sum.sinks {
+		src := realize(taint{params: sk.params}, params, call.Lparen, name, nil)
+		if src.empty() {
+			continue
+		}
+		chain := appendChain(sk.tr, src.tr)
+		if src.params != 0 {
+			ex.fi.sum.addSink(sk.pos, sk.kind, sk.expr, src.params, chain)
+		}
+		if ex.sweep && src.roots.any() {
+			ex.a.recordFinding(sk.pos, sk.kind, sk.expr, taint{roots: src.roots, tr: chain})
+		}
+	}
+	for _, w := range sum.writes {
+		src := realize(taint{params: w.params}, params, call.Lparen, name, nil)
+		if src.empty() {
+			continue
+		}
+		src.tr = appendChain(w.tr, src.tr)
+		if w.target >= 0 {
+			if w.target < len(exprs) && exprs[w.target] != nil {
+				ex.baseWrite(st, exprs[w.target],
+					src.hop(call.Lparen, "written by "+name+" through its argument"))
+			}
+		} else {
+			if src.roots.any() {
+				ex.a.rootForField(w.field, "field "+w.field.Name()+" of "+ownerName(w.field),
+					&step{pos: call.Lparen, desc: "field " + w.field.Name() + " assigned a secret via " + name, prev: src.tr})
+			}
+			if src.params != 0 {
+				ex.fi.sum.addWrite(-1, w.field, src.params, src.tr)
+			}
+		}
+	}
+	out := make([]taint, len(sum.results))
+	for i, r := range sum.results {
+		out[i] = realize(r, params, call.Lparen, name, r.tr)
+	}
+	return out
+}
+
+func recvOf(fi *funcInfo) *types.Var {
+	return fi.obj.Type().(*types.Signature).Recv()
+}
+
+func resultCount(info *types.Info, call *ast.CallExpr) int {
+	switch t := info.TypeOf(call).(type) {
+	case *types.Tuple:
+		return t.Len()
+	case nil:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// realize maps a summary taint (over callee parameters) into the caller's
+// domain given the argument taints. calleeTr, when non-nil, is the
+// callee-side witness to stitch onto the argument-side witness.
+func realize(t taint, args []taint, callPos token.Pos, name string, calleeTr *step) taint {
+	out := taint{roots: t.roots, tr: calleeTr}
+	var argWitness *step
+	contributed := false
+	for j := range args {
+		if j >= 64 || t.params&(1<<uint(j)) == 0 || args[j].empty() {
+			continue
+		}
+		out.params |= args[j].params
+		out.roots = out.roots.or(args[j].roots)
+		if !contributed {
+			argWitness = args[j].tr
+			contributed = true
+		}
+	}
+	if contributed {
+		out.tr = appendChain(calleeTr,
+			&step{pos: callPos, desc: "argument to " + name, prev: argWitness})
+	}
+	return out
+}
+
+// unknownCall applies the out-of-module policy: every result is tainted by
+// the join of receiver and arguments (minus error results), and no writes
+// through arguments are assumed.
+func (ex *execCtx) unknownCall(st state, call *ast.CallExpr, recvT taint, argT []taint) []taint {
+	t := recvT
+	for _, at := range argT {
+		t = join(t, at)
+	}
+	n := resultCount(ex.info, call)
+	out := make([]taint, n)
+	if t.empty() {
+		return out
+	}
+	t = t.hop(call.Lparen, "result of "+ex.text(call.Fun))
+	for i := range out {
+		out[i] = t
+	}
+	// Strip error results (public by policy).
+	if tup, ok := ex.info.TypeOf(call).(*types.Tuple); ok {
+		for i := 0; i < tup.Len() && i < n; i++ {
+			if types.Identical(tup.At(i).Type(), errorType) {
+				out[i] = taint{}
+			}
+		}
+	}
+	return out
+}
+
+// builtinCall handles the builtins with taint-relevant semantics. Lengths
+// and capacities are public by policy: the leak model tracks values, and
+// sizes are structural facts the attacker already has.
+func (ex *execCtx) builtinCall(st state, call *ast.CallExpr) ([]taint, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if _, ok := ex.info.Uses[id].(*types.Builtin); !ok {
+		return nil, false
+	}
+	switch id.Name {
+	case "len", "cap":
+		for _, a := range call.Args {
+			ex.eval(st, a)
+		}
+		return []taint{{}}, true
+	case "copy":
+		srcT := taint{}
+		if len(call.Args) == 2 {
+			srcT = ex.eval(st, call.Args[1])
+			ex.eval(st, call.Args[0])
+			ex.baseWrite(st, call.Args[0], srcT.hop(call.Lparen, "copied into "+ex.text(call.Args[0])))
+		}
+		return []taint{{}}, true // copy's count result is a length
+	case "append":
+		var t taint
+		for _, a := range call.Args {
+			t = join(t, ex.eval(st, a))
+		}
+		return []taint{t}, true
+	case "make", "new", "clear", "close", "recover", "print", "println":
+		for _, a := range call.Args {
+			ex.eval(st, a)
+		}
+		return []taint{{}}, true
+	case "delete", "panic":
+		for _, a := range call.Args {
+			ex.eval(st, a)
+		}
+		return nil, true
+	case "min", "max":
+		var t taint
+		for _, a := range call.Args {
+			t = join(t, ex.eval(st, a))
+		}
+		return []taint{t}, true
+	}
+	return nil, false
+}
+
+// appendChain copies the head chain and splices tail after its oldest
+// step, so shared summary chains are never mutated.
+func appendChain(head, tail *step) *step {
+	if head == nil {
+		return tail
+	}
+	var nodes []*step
+	for s := head; s != nil; s = s.prev {
+		nodes = append(nodes, s)
+	}
+	cur := tail
+	for i := len(nodes) - 1; i >= 0; i-- {
+		cur = &step{pos: nodes[i].pos, desc: nodes[i].desc, prev: cur}
+	}
+	return cur
+}
+
+// text renders an expression's source, truncated for diagnostics.
+func (ex *execCtx) text(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, ex.a.fset, e); err != nil {
+		return "?"
+	}
+	s := buf.String()
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}

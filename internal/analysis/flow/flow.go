@@ -1,0 +1,440 @@
+// Package flow is a stdlib-only interprocedural taint-dataflow engine for
+// the repository's secret-leak model. It answers, with a full
+// source→hop→sink trace, the question every security number in this repo
+// rests on: where can a secret value reach a memory address, a branch
+// decision, or a variable-latency operation?
+//
+// The model follows the paper's leak taxonomy:
+//
+//   - Sources are secret values declared structurally: function parameters
+//     annotated "//ctflow:secret a,b" in the declaration's doc comment,
+//     struct fields annotated the same way, parameters whose name matches
+//     the legacy ctindex heuristic (secret/key/priv/exponent/plaintext —
+//     demoted here to a seed), and — derived during analysis — any struct
+//     field or package variable assigned a secret-tainted value.
+//
+//   - Taint propagates through assignments, arithmetic, composites,
+//     conversions, range statements, and interprocedural calls via function
+//     summaries over a module-local call graph. The element read through a
+//     tainted index is itself tainted (which entry was read reveals the
+//     index). Summaries record param→result taint, param→sink reachability,
+//     param→field writes and writes through slice/pointer parameters, so
+//     taint survives arbitrarily deep call chains.
+//
+//   - Sinks are array/slice indexing by a tainted value (including slice
+//     bounds and type-parameter operands whose core type is an array or
+//     slice), branch/switch/loop conditions on tainted values (including
+//     ranging over a tainted integer), and integer division or modulus —
+//     the variable-latency ops — with a tainted operand.
+//
+//   - Sanitization is structural: a function annotated "//ctflow:sanitizer"
+//     declassifies — its results are public no matter what flows in (for
+//     designated constant-time helpers and for outputs the attack model
+//     already grants the attacker, like ciphertext). Everything else goes
+//     through "//lint:ignore ctflow <reason>".
+//
+// Deliberate policy choices, documented here because they bound what the
+// engine can prove: lengths are public (len/cap results are never tainted),
+// error values are public, type-switch dispatch is public, and calls to
+// functions outside the module (or through interfaces) taint only their
+// results — writes such calls perform through pointer arguments are not
+// modeled. Function literals are analyzed with a snapshot of their
+// enclosing state, so sinks in closures over tainted variables are found,
+// but taint entering a closure through its own parameters is not tracked.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// SecretName is the seed heuristic inherited from the ctindex checker: an
+// identifier with one of these prefixes names a secret.
+var SecretName = regexp.MustCompile(`(?i)^(secret|key|priv|exponent|plaintext)`)
+
+// SinkKind classifies how a secret-dependent value becomes observable.
+type SinkKind int
+
+const (
+	// SinkIndex is a memory address formed from a secret: array/slice
+	// indexing or slice bounds.
+	SinkIndex SinkKind = iota
+	// SinkBranch is control flow deciding on a secret: if/for/switch
+	// conditions, case expressions, ranging over a secret integer.
+	SinkBranch
+	// SinkDivMod is a variable-latency integer division or modulus with a
+	// secret operand.
+	SinkDivMod
+)
+
+func (k SinkKind) String() string {
+	switch k {
+	case SinkIndex:
+		return "index"
+	case SinkBranch:
+		return "branch"
+	case SinkDivMod:
+		return "divmod"
+	}
+	return "unknown"
+}
+
+// Step is one hop of a source→sink trace.
+type Step struct {
+	Pos  token.Pos
+	Desc string
+}
+
+// Finding is one secret-dependent sink with the witness path that reaches
+// it.
+type Finding struct {
+	Pos    token.Pos
+	Kind   SinkKind
+	Expr   string // source text of the sink expression
+	Source string // description of the root secret
+	Steps  []Step // source first, sink last
+}
+
+// PackageInfo is one loaded, type-checked package handed to the engine.
+type PackageInfo struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Config configures one whole-module analysis.
+type Config struct {
+	Fset *token.FileSet
+	Pkgs []*PackageInfo
+	// SecretParam overrides the seed heuristic (default SecretName).
+	SecretParam *regexp.Regexp
+	// SeedPackage, when non-nil, restricts the name heuristic to packages
+	// it approves (the victim packages). //ctflow:secret annotations seed
+	// everywhere regardless — declaring a secret is always meaningful.
+	SeedPackage func(pkgPath string) bool
+	// SkipSinkFile, when non-nil, drops findings whose sink lies in a
+	// matching file (the ctflow checker skips _test.go: tests branching on
+	// the secrets they themselves construct are harness behavior).
+	SkipSinkFile func(filename string) bool
+	// MaxSteps caps trace length (default 16; longer chains keep the
+	// source end and the sink end).
+	MaxSteps int
+}
+
+// IndexableMemory reports whether indexing a value of type t addresses
+// memory as a linear function of the index: arrays, slices, pointers to
+// arrays, and type parameters all of whose terms are such types. Maps are
+// excluded — the cache-line address of a map lookup is not a linear
+// function of the key. Shared with the ctindex checker.
+func IndexableMemory(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Array, *types.Slice:
+		return true
+	case *types.Pointer:
+		_, isArr := u.Elem().Underlying().(*types.Array)
+		return isArr
+	case *types.Interface:
+		// A type parameter's underlying type is its constraint interface:
+		// indexable when every term of the constraint is indexable (so
+		// generic code cannot dodge the checkers).
+		if _, isParam := t.(*types.TypeParam); !isParam {
+			return false
+		}
+		terms := constraintTerms(u)
+		if len(terms) == 0 {
+			return false
+		}
+		for _, term := range terms {
+			if _, isParam := term.(*types.TypeParam); isParam {
+				continue // e.g. ~[]E with E a type parameter
+			}
+			if !IndexableMemory(term) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// constraintTerms flattens a constraint interface's embedded unions into
+// the list of term types.
+func constraintTerms(iface *types.Interface) []types.Type {
+	var out []types.Type
+	for i := 0; i < iface.NumEmbeddeds(); i++ {
+		switch emb := iface.EmbeddedType(i).(type) {
+		case *types.Union:
+			for j := 0; j < emb.Len(); j++ {
+				out = append(out, emb.Term(j).Type())
+			}
+		default:
+			out = append(out, emb)
+		}
+	}
+	return out
+}
+
+// Analyze runs the whole-module taint analysis and returns the findings
+// sorted by position. See the package comment for the model.
+func Analyze(cfg Config) []Finding {
+	a := newAnalysis(cfg)
+	a.setup()
+	a.solve()
+	return a.report()
+}
+
+// ---- annotations ----
+
+const (
+	secretDirective    = "//ctflow:secret"
+	sanitizerDirective = "//ctflow:sanitizer"
+)
+
+// parseSecretNames extracts the names listed by //ctflow:secret directives
+// in a comment group.
+func parseSecretNames(doc *ast.CommentGroup) map[string]bool {
+	if doc == nil {
+		return nil
+	}
+	var names map[string]bool
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, secretDirective)
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		for _, field := range strings.Fields(rest) {
+			for _, name := range strings.Split(field, ",") {
+				if name != "" {
+					if names == nil {
+						names = map[string]bool{}
+					}
+					names[name] = true
+				}
+			}
+		}
+	}
+	return names
+}
+
+func hasSanitizerDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == sanitizerDirective || strings.HasPrefix(c.Text, sanitizerDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- setup: function table, seeds, call graph ----
+
+// funcInfo is the engine's per-function record.
+type funcInfo struct {
+	idx       int // deterministic order index
+	obj       *types.Func
+	decl      *ast.FuncDecl
+	pkg       *PackageInfo
+	graph     *CFG
+	params    []*types.Var // receiver first for methods
+	seeds     map[int]int  // param index → root id
+	sanitizer bool
+	sum       *summary
+	callers   map[*types.Func]bool
+}
+
+func newAnalysis(cfg Config) *analysis {
+	if cfg.SecretParam == nil {
+		cfg.SecretParam = SecretName
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 16
+	}
+	return &analysis{
+		cfg:       cfg,
+		fset:      cfg.Fset,
+		funcs:     map[*types.Func]*funcInfo{},
+		fieldRoot: map[*types.Var]int{},
+		findings:  map[token.Pos]map[SinkKind]*Finding{},
+	}
+}
+
+// setup builds the function table in deterministic (file position) order,
+// registers annotation and name-heuristic seeds, and records the
+// module-local call graph for worklist requeuing.
+func (a *analysis) setup() {
+	for _, pkg := range a.cfg.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					a.addFunc(pkg, d)
+				case *ast.GenDecl:
+					a.addFieldSeeds(pkg, d)
+				}
+			}
+		}
+	}
+	sort.Slice(a.order, func(i, j int) bool {
+		return a.order[i].decl.Pos() < a.order[j].decl.Pos()
+	})
+	for i, fi := range a.order {
+		fi.idx = i
+	}
+	// Seeds are registered in deterministic order only now, so root ids do
+	// not depend on file-walk order.
+	for _, fi := range a.order {
+		a.seedParams(fi)
+	}
+	for _, fi := range a.order {
+		a.recordCalls(fi)
+	}
+}
+
+func (a *analysis) addFunc(pkg *PackageInfo, d *ast.FuncDecl) {
+	if d.Body == nil {
+		return
+	}
+	obj, _ := pkg.Info.Defs[d.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	fi := &funcInfo{
+		obj:       obj,
+		decl:      d,
+		pkg:       pkg,
+		sanitizer: hasSanitizerDirective(d.Doc),
+		sum:       &summary{},
+		callers:   map[*types.Func]bool{},
+	}
+	sig := obj.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		fi.params = append(fi.params, recv)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		fi.params = append(fi.params, sig.Params().At(i))
+	}
+	a.funcs[obj] = fi
+	a.order = append(a.order, fi)
+}
+
+// seedParams turns annotated and secret-named parameters into roots.
+func (a *analysis) seedParams(fi *funcInfo) {
+	annotated := parseSecretNames(fi.decl.Doc)
+	heuristic := a.cfg.SeedPackage == nil || a.cfg.SeedPackage(fi.pkg.Path)
+	for i, p := range fi.params {
+		name := p.Name()
+		if name == "" || name == "_" {
+			continue
+		}
+		if annotated[name] || (heuristic && a.cfg.SecretParam.MatchString(name)) {
+			if fi.seeds == nil {
+				fi.seeds = map[int]int{}
+			}
+			fi.seeds[i] = a.newRoot(
+				"parameter "+name+" of "+fi.obj.Name(),
+				&step{pos: p.Pos(), desc: "parameter " + name + " of " + fi.obj.Name() + " (declared secret)"})
+		}
+	}
+}
+
+// addFieldSeeds registers //ctflow:secret-annotated struct fields as roots.
+func (a *analysis) addFieldSeeds(pkg *PackageInfo, d *ast.GenDecl) {
+	if d.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			names := parseSecretNames(field.Doc)
+			for n := range parseSecretNames(field.Comment) {
+				if names == nil {
+					names = map[string]bool{}
+				}
+				names[n] = true
+			}
+			if names == nil {
+				continue
+			}
+			for _, id := range field.Names {
+				if !names[id.Name] {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[id].(*types.Var); ok {
+					a.rootForField(obj,
+						"field "+id.Name+" of "+ts.Name.Name,
+						&step{pos: id.Pos(), desc: "field " + id.Name + " of " + ts.Name.Name + " (declared secret)"})
+				}
+			}
+		}
+	}
+}
+
+// recordCalls registers fi as a caller of every module-local function its
+// body mentions, so summary changes requeue the right functions.
+func (a *analysis) recordCalls(fi *funcInfo) {
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := a.resolveCallee(fi.pkg.Info, call); callee != nil {
+			callee.callers[fi.obj] = true
+		}
+		return true
+	})
+}
+
+// resolveCallee resolves a call to its module-local funcInfo, unwrapping
+// parens and generic instantiation (f[T](...) parses the callee as an
+// IndexExpr or IndexListExpr — without unwrapping, generic code would
+// silently drop out of the summary graph).
+func (a *analysis) resolveCallee(info *types.Info, call *ast.CallExpr) *funcInfo {
+	fun := ast.Unparen(call.Fun)
+	for {
+		switch f := fun.(type) {
+		case *ast.IndexExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		case *ast.IndexListExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		}
+		break
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	// Instantiated generics resolve to the instance; summaries live on the
+	// generic origin.
+	if orig := fn.Origin(); orig != nil {
+		fn = orig
+	}
+	return a.funcs[fn]
+}

@@ -1,0 +1,407 @@
+package flow
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ---- the lattice ----
+
+// bits is a variable-length bitset of global root ids. Operations are
+// copy-on-write so taint values can be shared between states.
+type bits []uint64
+
+func (b bits) has(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(1<<(i%64)) != 0
+}
+
+func (b bits) with(i int) bits {
+	w := i / 64
+	if b.has(i) {
+		return b
+	}
+	n := make(bits, max(len(b), w+1))
+	copy(n, b)
+	n[w] |= 1 << (i % 64)
+	return n
+}
+
+func (b bits) or(o bits) bits {
+	if len(o) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return o
+	}
+	grew := false
+	for w, v := range o {
+		if w >= len(b) || b[w]&v != v {
+			grew = true
+			break
+		}
+	}
+	if !grew {
+		return b
+	}
+	n := make(bits, max(len(b), len(o)))
+	copy(n, b)
+	for w, v := range o {
+		n[w] |= v
+	}
+	return n
+}
+
+func (b bits) any() bool {
+	for _, v := range b {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b bits) equal(o bits) bool {
+	long, short := b, o
+	if len(o) > len(b) {
+		long, short = o, b
+	}
+	for w, v := range long {
+		var sv uint64
+		if w < len(short) {
+			sv = short[w]
+		}
+		if v != sv {
+			return false
+		}
+	}
+	return true
+}
+
+// lowest returns the smallest set root id, or -1.
+func (b bits) lowest() int {
+	for w, v := range b {
+		if v != 0 {
+			for i := 0; i < 64; i++ {
+				if v&(1<<i) != 0 {
+					return w*64 + i
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// step is one node of a witness chain, newest-first. Chains are shared
+// tails, so extending a chain is O(1).
+type step struct {
+	pos  token.Pos
+	desc string
+	prev *step
+}
+
+// taint is the lattice value: which of the current function's parameters
+// (bitmask, receiver first) and which global roots may have flowed into a
+// value, plus one witness chain. The masks drive the fixpoint; the chain is
+// carried opportunistically (first witness wins) and never compared, so it
+// cannot affect termination.
+type taint struct {
+	params uint64
+	roots  bits
+	tr     *step
+}
+
+func (t taint) empty() bool { return t.params == 0 && !t.roots.any() }
+
+func (t taint) sameMask(o taint) bool {
+	return t.params == o.params && t.roots.equal(o.roots)
+}
+
+// join unions two taints, keeping the existing witness when there is one.
+func join(a, b taint) taint {
+	out := taint{params: a.params | b.params, roots: a.roots.or(b.roots), tr: a.tr}
+	if out.tr == nil {
+		out.tr = b.tr
+	}
+	return out
+}
+
+// hop extends t's witness chain by one step. No-op on empty taint.
+func (t taint) hop(pos token.Pos, desc string) taint {
+	if t.empty() {
+		return t
+	}
+	t.tr = &step{pos: pos, desc: desc, prev: t.tr}
+	return t
+}
+
+// ---- global roots ----
+
+// rootInfo is one global taint origin: a declared-secret parameter or
+// field, or a field/global derived secret by assignment.
+type rootInfo struct {
+	desc string
+	tr   *step
+}
+
+func (a *analysis) newRoot(desc string, tr *step) int {
+	a.roots = append(a.roots, rootInfo{desc: desc, tr: tr})
+	return len(a.roots) - 1
+}
+
+// rootForField promotes a struct field or package variable to a global
+// root (field-sensitive, instance-insensitive). Idempotent; a first-time
+// promotion invalidates every computed summary, since any function may
+// read the field.
+func (a *analysis) rootForField(obj *types.Var, desc string, tr *step) int {
+	if id, ok := a.fieldRoot[obj]; ok {
+		return id
+	}
+	id := a.newRoot(desc, tr)
+	a.fieldRoot[obj] = id
+	a.rootsChanged = true
+	return id
+}
+
+// ---- summaries ----
+
+// sumSink is a sink inside a function (or somewhere below it in the call
+// graph) reachable from the function's own parameters.
+type sumSink struct {
+	pos    token.Pos
+	kind   SinkKind
+	expr   string
+	params uint64 // which params reach it
+	tr     *step  // witness from the param placeholder to the sink
+}
+
+// sumWrite is taint the function stores through one of its parameters
+// (slice element, pointer target) or into a struct field / package
+// variable, expressed over its own parameters.
+type sumWrite struct {
+	target int        // param index, or -1 when field is set
+	field  *types.Var // field/global written, when target < 0
+	params uint64     // source param mask
+	tr     *step
+}
+
+// summary is a function's interprocedural abstract: how taint entering via
+// parameters leaves again. Root-borne taint needs no summary — roots are
+// global, so the function's own analysis records those effects directly.
+type summary struct {
+	results []taint
+	sinks   []sumSink
+	writes  []sumWrite
+}
+
+// fingerprint captures everything a caller can observe of a summary, so
+// solve can tell whether callers must be requeued.
+func (s *summary) fingerprint() []uint64 {
+	fp := []uint64{uint64(len(s.results)), uint64(len(s.sinks)), uint64(len(s.writes))}
+	for _, r := range s.results {
+		fp = append(fp, r.params)
+		for _, w := range r.roots {
+			fp = append(fp, w)
+		}
+	}
+	for _, sk := range s.sinks {
+		fp = append(fp, uint64(sk.pos), uint64(sk.kind), sk.params)
+	}
+	for _, w := range s.writes {
+		fp = append(fp, uint64(int64(w.target)), w.params)
+	}
+	return fp
+}
+
+func fpEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// addSink merges a sink into the summary, deduplicating by position and
+// kind.
+func (s *summary) addSink(pos token.Pos, kind SinkKind, expr string, params uint64, tr *step) {
+	for i := range s.sinks {
+		if s.sinks[i].pos == pos && s.sinks[i].kind == kind {
+			s.sinks[i].params |= params
+			return
+		}
+	}
+	s.sinks = append(s.sinks, sumSink{pos: pos, kind: kind, expr: expr, params: params, tr: tr})
+}
+
+// addWrite merges a parameter/field write into the summary.
+func (s *summary) addWrite(target int, field *types.Var, params uint64, tr *step) {
+	for i := range s.writes {
+		if s.writes[i].target == target && s.writes[i].field == field {
+			s.writes[i].params |= params
+			return
+		}
+	}
+	s.writes = append(s.writes, sumWrite{target: target, field: field, params: params, tr: tr})
+}
+
+// ---- the solver ----
+
+type analysis struct {
+	cfg   Config
+	fset  *token.FileSet
+	funcs map[*types.Func]*funcInfo
+	order []*funcInfo
+
+	roots        []rootInfo
+	fieldRoot    map[*types.Var]int
+	rootsChanged bool
+
+	findings map[token.Pos]map[SinkKind]*Finding
+	queued   map[*funcInfo]bool
+	queue    []*funcInfo
+}
+
+// solve runs the two-phase analysis: a summary fixpoint over the
+// call-graph worklist, then one deterministic recording pass that turns
+// root-bearing sink taint into findings.
+func (a *analysis) solve() {
+	a.queued = map[*funcInfo]bool{}
+	for _, fi := range a.order {
+		a.enqueue(fi)
+	}
+	for len(a.queue) > 0 {
+		fi := a.queue[0]
+		a.queue = a.queue[1:]
+		a.queued[fi] = false
+
+		before := fi.sum.fingerprint()
+		a.rootsChanged = false
+		a.analyzeFunc(fi, false)
+		if a.rootsChanged {
+			// A field or package variable became a root: any function can
+			// read it, so everything is stale.
+			for _, other := range a.order {
+				a.enqueue(other)
+			}
+			continue
+		}
+		if !fpEqual(before, fi.sum.fingerprint()) {
+			for _, caller := range a.sortedCallers(fi) {
+				a.enqueue(caller)
+			}
+		}
+	}
+	for _, fi := range a.order {
+		a.analyzeFunc(fi, true)
+	}
+}
+
+func (a *analysis) enqueue(fi *funcInfo) {
+	if fi == nil || a.queued[fi] {
+		return
+	}
+	a.queued[fi] = true
+	a.queue = append(a.queue, fi)
+}
+
+// recordFinding turns a root-bearing sink into a Finding. First witness
+// wins per (position, kind); the deterministic phase-2 order makes the
+// choice stable.
+func (a *analysis) recordFinding(pos token.Pos, kind SinkKind, expr string, t taint) {
+	if !t.roots.any() {
+		return
+	}
+	if a.cfg.SkipSinkFile != nil && a.cfg.SkipSinkFile(a.fset.Position(pos).Filename) {
+		return
+	}
+	byKind := a.findings[pos]
+	if byKind == nil {
+		byKind = map[SinkKind]*Finding{}
+		a.findings[pos] = byKind
+	}
+	if byKind[kind] != nil {
+		return
+	}
+	root := a.roots[t.roots.lowest()]
+	chain := &step{pos: pos, desc: kind.String() + " sink: " + expr, prev: t.tr}
+	byKind[kind] = &Finding{
+		Pos:    pos,
+		Kind:   kind,
+		Expr:   expr,
+		Source: root.desc,
+		Steps:  a.flatten(chain, root.tr),
+	}
+}
+
+// flatten renders a newest-first witness chain (with the root's own
+// declaration step appended at the source end) as oldest-first Steps,
+// capped at MaxSteps keeping both ends. When the chain already ends at
+// the root's declaration step (taint seeded directly from the root
+// carries its tr), the root chain is not appended again.
+func (a *analysis) flatten(chain, rootTr *step) []Step {
+	var rev []Step
+	for s := chain; s != nil; s = s.prev {
+		rev = append(rev, Step{Pos: s.pos, Desc: s.desc})
+	}
+	var rootRev []Step
+	for s := rootTr; s != nil; s = s.prev {
+		rootRev = append(rootRev, Step{Pos: s.pos, Desc: s.desc})
+	}
+	// Taint seeded directly from the root carries the root's declaration
+	// chain already; only append it when the witness does not end there.
+	if !stepsHaveSuffix(rev, rootRev) {
+		rev = append(rev, rootRev...)
+	}
+	out := make([]Step, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	if cap := a.cfg.MaxSteps; len(out) > cap {
+		head := cap / 2
+		tail := cap - head
+		trimmed := make([]Step, 0, cap+1)
+		trimmed = append(trimmed, out[:head]...)
+		trimmed = append(trimmed, Step{Pos: token.NoPos, Desc: "... (trace truncated)"})
+		trimmed = append(trimmed, out[len(out)-tail:]...)
+		out = trimmed
+	}
+	return out
+}
+
+// stepsHaveSuffix reports whether rev (newest-first) ends, at its oldest
+// end, with the whole suffix sequence.
+func stepsHaveSuffix(rev, suffix []Step) bool {
+	if len(suffix) == 0 || len(rev) < len(suffix) {
+		return len(suffix) == 0
+	}
+	off := len(rev) - len(suffix)
+	for i, s := range suffix {
+		if rev[off+i] != s {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *analysis) report() []Finding {
+	positions := make([]token.Pos, 0, len(a.findings))
+	for pos := range a.findings {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	var out []Finding
+	for _, pos := range positions {
+		byKind := a.findings[pos]
+		for _, kind := range []SinkKind{SinkIndex, SinkBranch, SinkDivMod} {
+			if f := byKind[kind]; f != nil {
+				out = append(out, *f)
+			}
+		}
+	}
+	return out
+}

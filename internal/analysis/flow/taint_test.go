@@ -1,0 +1,437 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// analyzeSrc type-checks one import-free snippet and runs the engine.
+func analyzeSrc(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return Analyze(Config{
+		Fset: fset,
+		Pkgs: []*PackageInfo{{Path: "p", Files: []*ast.File{file}, Types: pkg, Info: info}},
+	})
+}
+
+var sinkMarker = regexp.MustCompile(`sink:(index|branch|divmod)`)
+
+// checkFindings compares the engine's findings against the `// sink:kind`
+// markers in src, exactly — extra findings fail the test too.
+func checkFindings(t *testing.T, src string, got []Finding) {
+	t.Helper()
+	want := map[string]bool{}
+	for i, line := range strings.Split(src, "\n") {
+		for _, m := range sinkMarker.FindAllStringSubmatch(line, -1) {
+			want[fmt.Sprintf("%s:%d", m[1], i+1)] = true
+		}
+	}
+	have := map[string]bool{}
+	fset := token.NewFileSet()
+	_ = fset
+	for _, f := range got {
+		have[fmt.Sprintf("%s:%d", f.Kind, lineOf(t, src, f))] = true
+	}
+	if len(want) != len(have) || !sameKeys(want, have) {
+		t.Errorf("findings mismatch:\n want %v\n have %v\n findings: %+v",
+			keys(want), keys(have), describe(got))
+	}
+}
+
+// lineOf recovers a finding's line: Analyze used its own FileSet, but the
+// findings were produced from a single file whose positions are 1-based
+// offsets into src — recompute via a fresh parse.
+func lineOf(t *testing.T, src string, f Finding) int {
+	t.Helper()
+	fset := token.NewFileSet()
+	tf := fset.AddFile("p.go", 1, len(src))
+	tf.SetLinesForContent([]byte(src))
+	return tf.Line(token.Pos(int(f.Pos)))
+}
+
+func sameKeys(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func describe(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, fmt.Sprintf("%s %q from %s", f.Kind, f.Expr, f.Source))
+	}
+	return out
+}
+
+func run(t *testing.T, src string) {
+	t.Helper()
+	checkFindings(t, src, analyzeSrc(t, src))
+}
+
+func TestDirectIndexSink(t *testing.T) {
+	run(t, `package p
+func lookup(key []byte, table [256]byte) byte {
+	return table[key[0]] // sink:index
+}
+`)
+}
+
+func TestBranchAndDivModSinks(t *testing.T) {
+	run(t, `package p
+func f(secret int, n int) int {
+	if secret > 0 { // sink:branch
+		n++
+	}
+	return n / secret // sink:divmod
+}
+`)
+}
+
+func TestAssignmentKillsTaint(t *testing.T) {
+	run(t, `package p
+func g(key int, table [16]int) int {
+	x := key
+	x = 0
+	return table[x]
+}
+`)
+}
+
+func TestInterproceduralSink(t *testing.T) {
+	src := `package p
+func lookup(t [256]int, i int) int {
+	return t[i] // sink:index
+}
+func use(key int, t [256]int) int {
+	return lookup(t, key)
+}
+`
+	got := analyzeSrc(t, src)
+	checkFindings(t, src, got)
+	if len(got) == 1 {
+		if !strings.Contains(got[0].Source, "key") {
+			t.Errorf("source should name the secret parameter, got %q", got[0].Source)
+		}
+		if len(got[0].Steps) < 3 {
+			t.Errorf("interprocedural trace too short: %+v", got[0].Steps)
+		}
+	}
+}
+
+func TestReturnPropagatesTaint(t *testing.T) {
+	run(t, `package p
+func derive(key int) int {
+	return key * 7
+}
+func use(key int, t [256]int) int {
+	v := derive(key)
+	return t[v] // sink:index
+}
+`)
+}
+
+func TestSanitizerDeclassifies(t *testing.T) {
+	run(t, `package p
+
+//ctflow:sanitizer
+func ctSelect(v int) int { return v & 1 }
+
+func h(key int, t [16]int) int {
+	i := ctSelect(key)
+	return t[i]
+}
+`)
+}
+
+func TestSecretAnnotation(t *testing.T) {
+	run(t, `package p
+
+//ctflow:secret x
+func exp(x int, t [16]int) int {
+	return t[x] // sink:index
+}
+
+func unannotated(x int, t [16]int) int {
+	return t[x]
+}
+`)
+}
+
+func TestFieldPromotion(t *testing.T) {
+	run(t, `package p
+type c struct {
+	p [16]int
+	k int
+}
+func news(key int) *c {
+	v := &c{}
+	v.k = key
+	return v
+}
+func (v *c) get(i int) int {
+	if v.k > i { // sink:branch
+		return v.p[v.k%4] // sink:index sink:divmod
+	}
+	return 0
+}
+`)
+}
+
+func TestFieldAnnotation(t *testing.T) {
+	run(t, `package p
+type s struct {
+	exp int //ctflow:secret exp
+}
+func (v *s) get(t [16]int) int {
+	return t[v.exp] // sink:index
+}
+`)
+}
+
+func TestGenericIndexSink(t *testing.T) {
+	run(t, `package p
+func get[T any](s []T, i int) T {
+	return s[i] // sink:index
+}
+func useInferred(key int, s []int) int {
+	return get(s, key)
+}
+func useExplicit(key int, s []int) int {
+	return get[int](s, key)
+}
+`)
+}
+
+func TestIndexListExprInstantiation(t *testing.T) {
+	run(t, `package p
+func pick[K comparable, V any](s []V, i int, _ K) V {
+	return s[i] // sink:index
+}
+func use(key int, s []int) int {
+	return pick[string, int](s, key, "x")
+}
+`)
+}
+
+func TestRangeOverIntIsBranchSink(t *testing.T) {
+	run(t, `package p
+func r(key int) int {
+	n := 0
+	for range key { // sink:branch
+		n++
+	}
+	return n
+}
+`)
+}
+
+func TestLoopCarriedTaint(t *testing.T) {
+	run(t, `package p
+func lc(key []byte, t [256]int) int {
+	x := 0
+	for i := 0; i < len(key); i++ {
+		x = int(key[i])
+	}
+	return t[x] // sink:index
+}
+`)
+}
+
+func TestErrorValuesArePublic(t *testing.T) {
+	run(t, `package p
+func mk(key int) (int, error) {
+	if key > 0 { // sink:branch
+		return key, nil
+	}
+	return 0, nil
+}
+func use(key int, t [4]int) int {
+	v, err := mk(key)
+	if err != nil {
+		return -1
+	}
+	return t[v] // sink:index
+}
+`)
+}
+
+func TestLenIsPublic(t *testing.T) {
+	run(t, `package p
+func f(key []byte, t [64]int) int {
+	if len(key) > 16 {
+		return 0
+	}
+	return t[len(key)]
+}
+`)
+}
+
+func TestPackageVarPromotion(t *testing.T) {
+	run(t, `package p
+var state int
+func set(key int) { state = key }
+func use(t [8]int) int {
+	return t[state] // sink:index
+}
+`)
+}
+
+func TestWriteThroughSliceParam(t *testing.T) {
+	run(t, `package p
+func fill(dst []int, key int) {
+	dst[0] = key
+}
+func use(key int, t [16]int) int {
+	buf := make([]int, 4)
+	fill(buf, key)
+	return t[buf[2]] // sink:index
+}
+`)
+}
+
+func TestCopyBuiltin(t *testing.T) {
+	run(t, `package p
+func cb(key []byte, t [256]int) int {
+	buf := make([]byte, 16)
+	copy(buf, key)
+	return t[buf[0]] // sink:index
+}
+`)
+}
+
+func TestTypeSwitchTaintsImplicits(t *testing.T) {
+	run(t, `package p
+func ts(keyAny interface{}, t [16]int) int {
+	switch v := keyAny.(type) {
+	case int:
+		return t[v] // sink:index
+	}
+	return 0
+}
+`)
+}
+
+func TestClosureOverSecret(t *testing.T) {
+	run(t, `package p
+func cl(key int, t [16]int) int {
+	f := func() int { return t[key] } // sink:index
+	return f()
+}
+`)
+}
+
+func TestSliceBoundsAreIndexSinks(t *testing.T) {
+	run(t, `package p
+func sb(key int, buf []byte) []byte {
+	return buf[key:] // sink:index
+}
+`)
+}
+
+func TestCleanCodeIsClean(t *testing.T) {
+	run(t, `package p
+func clean(n int, t [16]int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += t[i%len(t)]
+	}
+	return s
+}
+`)
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	src := `package p
+func lookup(t [256]int, i int) int {
+	return t[i]
+}
+func use(key int, t [256]int) int {
+	return lookup(t, key)
+}
+`
+	got := analyzeSrc(t, src)
+	if len(got) != 1 {
+		t.Fatalf("want 1 finding, got %+v", describe(got))
+	}
+	steps := got[0].Steps
+	if len(steps) < 2 {
+		t.Fatalf("trace too short: %+v", steps)
+	}
+	if !strings.Contains(steps[0].Desc, "parameter") {
+		t.Errorf("trace must start at the secret declaration, got %q", steps[0].Desc)
+	}
+	if !strings.Contains(steps[len(steps)-1].Desc, "sink") {
+		t.Errorf("trace must end at the sink, got %q", steps[len(steps)-1].Desc)
+	}
+}
+
+func TestIndexableMemoryTypeParams(t *testing.T) {
+	// ~[]byte | [8]byte constraint: indexable. map constraint: not.
+	src := `package p
+type bytesLike interface{ ~[]byte | [8]byte }
+func f[T bytesLike](v T, key int) byte {
+	return v[key] // sink:index
+}
+func g[M ~map[int]int](m M, key int) int {
+	return m[key]
+}
+func use(key int, b []byte, m map[int]int) {
+	f(b, key)
+	g(m, key)
+}
+`
+	run(t, src)
+}
+
+func TestParseSecretNames(t *testing.T) {
+	doc := &ast.CommentGroup{List: []*ast.Comment{
+		{Text: "// normal comment"},
+		{Text: "//ctflow:secret x,y z"},
+	}}
+	got := parseSecretNames(doc)
+	for _, name := range []string{"x", "y", "z"} {
+		if !got[name] {
+			t.Errorf("missing %q in %v", name, got)
+		}
+	}
+	if parseSecretNames(&ast.CommentGroup{List: []*ast.Comment{{Text: "//ctflow:secrets a"}}}) != nil {
+		t.Error("ctflow:secrets (typo) must not parse as a directive")
+	}
+}

@@ -1,0 +1,478 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// state maps variables to their may-taint at one program point. Absent
+// means untainted.
+type state map[*types.Var]taint
+
+func cloneState(st state) state {
+	n := make(state, len(st))
+	for k, v := range st {
+		n[k] = v
+	}
+	return n
+}
+
+// mergeInto joins src into *dst (union of maps, per-key taint join) and
+// reports whether any mask changed. A nil *dst becomes a copy of src, so
+// "visited with empty state" and "never visited" stay distinguishable.
+func mergeInto(dst *state, src state) bool {
+	if *dst == nil {
+		*dst = cloneState(src)
+		return true
+	}
+	changed := false
+	for k, v := range src {
+		old, ok := (*dst)[k]
+		if !ok {
+			(*dst)[k] = v
+			changed = true
+			continue
+		}
+		j := join(old, v)
+		if !j.sameMask(old) {
+			changed = true
+		}
+		(*dst)[k] = j
+	}
+	return changed
+}
+
+// execCtx executes one function's transfer function. sweep is true only
+// during the phase-2 recording pass; summary updates happen in every mode
+// (they deduplicate).
+type execCtx struct {
+	a     *analysis
+	fi    *funcInfo
+	info  *types.Info
+	sweep bool
+}
+
+// analyzeFunc runs the per-function fixpoint. With record set it follows
+// up with the deterministic recording sweep that emits findings.
+func (a *analysis) analyzeFunc(fi *funcInfo, record bool) {
+	if fi.graph == nil {
+		fi.graph = BuildCFG(fi.decl.Body)
+	}
+	init := state{}
+	for i, p := range fi.params {
+		var t taint
+		if i < 64 {
+			t.params = 1 << uint(i)
+		}
+		if id, ok := fi.seeds[i]; ok {
+			t.roots = t.roots.with(id)
+			t.tr = a.roots[id].tr
+		}
+		init[p] = t
+	}
+	ex := &execCtx{a: a, fi: fi, info: fi.pkg.Info, sweep: record}
+	ex.run(fi.graph, init)
+}
+
+// run iterates the CFG to a fixpoint, then (when sweeping) replays every
+// reachable block once, in index order, against its final in-state.
+func (ex *execCtx) run(g *CFG, init state) {
+	doSweep := ex.sweep
+	ex.sweep = false
+	ins := make([]state, len(g.Blocks))
+	ins[g.Entry.Index] = init
+	inWork := make([]bool, len(g.Blocks))
+	work := []int{g.Entry.Index}
+	inWork[g.Entry.Index] = true
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		blk := g.Blocks[bi]
+		st := cloneState(ins[bi])
+		for _, n := range blk.Nodes {
+			ex.node(st, n)
+		}
+		for _, succ := range blk.Succs {
+			if mergeInto(&ins[succ.Index], st) && !inWork[succ.Index] {
+				inWork[succ.Index] = true
+				work = append(work, succ.Index)
+			}
+		}
+	}
+	if doSweep {
+		ex.sweep = true
+		for _, blk := range g.Blocks {
+			if ins[blk.Index] == nil {
+				continue // unreachable
+			}
+			st := cloneState(ins[blk.Index])
+			for _, n := range blk.Nodes {
+				ex.node(st, n)
+			}
+		}
+	}
+	ex.sweep = doSweep
+}
+
+// node is the transfer function for one CFG node.
+func (ex *execCtx) node(st state, n ast.Node) {
+	switch n := n.(type) {
+	case ast.Stmt:
+		ex.stmt(st, n)
+	case ast.Expr:
+		// A bare expression in a block is a condition (if/for cond, switch
+		// tag, case expression): control flow is about to depend on it.
+		t := ex.eval(st, n)
+		ex.sink(st, SinkBranch, n.Pos(), ex.text(n), t)
+	}
+}
+
+func (ex *execCtx) stmt(st state, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		ex.assignStmt(st, s)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			ex.assignN(st, identExprs(vs.Names), vs.Values)
+		}
+	case *ast.ExprStmt:
+		ex.eval(st, s.X)
+	case *ast.SendStmt:
+		v := ex.eval(st, s.Value)
+		ex.eval(st, s.Chan)
+		ex.baseWrite(st, s.Chan, v.hop(s.Arrow, "sent on "+ex.text(s.Chan)))
+	case *ast.GoStmt:
+		ex.eval(st, s.Call)
+	case *ast.DeferStmt:
+		ex.eval(st, s.Call)
+	case *ast.ReturnStmt:
+		ex.returnStmt(st, s)
+	case *ast.RangeStmt:
+		ex.rangeStmt(st, s)
+	case *ast.TypeSwitchStmt:
+		ex.typeSwitch(st, s)
+	case *ast.IncDecStmt:
+		// x++ preserves x's taint; nothing changes.
+	}
+}
+
+func identExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+func (ex *execCtx) assignStmt(st state, s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Compound assignment: x op= y reads and writes x.
+		lt := ex.eval(st, s.Lhs[0])
+		rt := ex.eval(st, s.Rhs[0])
+		t := join(lt, rt)
+		if (s.Tok == token.QUO_ASSIGN || s.Tok == token.REM_ASSIGN) && isIntExpr(ex.info, s.Lhs[0]) {
+			ex.sink(st, SinkDivMod, s.TokPos, ex.text(s.Lhs[0])+" "+s.Tok.String()+" "+ex.text(s.Rhs[0]), t)
+		}
+		ex.assignTo(st, s.Lhs[0], t)
+		return
+	}
+	ex.assignN(st, s.Lhs, s.Rhs)
+}
+
+// assignN handles n-to-n and tuple (n-to-1) assignment forms.
+func (ex *execCtx) assignN(st state, lhs, rhs []ast.Expr) {
+	var vals []taint
+	switch {
+	case len(rhs) == 0:
+		vals = make([]taint, len(lhs)) // var x T
+	case len(rhs) == 1 && len(lhs) > 1:
+		vals = ex.evalMulti(st, rhs[0], len(lhs))
+	default:
+		vals = make([]taint, len(rhs))
+		for i, r := range rhs {
+			vals[i] = ex.eval(st, r)
+		}
+	}
+	for i, l := range lhs {
+		var v taint
+		if i < len(vals) {
+			v = vals[i]
+		}
+		ex.assignTo(st, l, v)
+	}
+}
+
+// assignTo routes a value into an lvalue: strong update for plain
+// variables (reassignment clears taint), weak update through element,
+// pointer, and field targets.
+func (ex *execCtx) assignTo(st state, target ast.Expr, v taint) {
+	switch t := ast.Unparen(target).(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return
+		}
+		obj := ex.objOf(t)
+		if obj == nil {
+			return
+		}
+		ex.noteEscape(st, obj, v, t.Pos())
+		nv := v.hop(t.Pos(), "assigned to "+t.Name)
+		if nv.empty() {
+			delete(st, obj)
+		} else {
+			st[obj] = nv
+		}
+	case *ast.IndexExpr:
+		it := ex.eval(st, t.Index)
+		ex.eval(st, t.X)
+		if IndexableMemory(ex.info.TypeOf(t.X)) {
+			ex.sink(st, SinkIndex, t.Lbrack, ex.text(t), it)
+		}
+		ex.baseWrite(st, t.X, join(v, it).hop(t.Pos(), "stored into element of "+ex.text(t.X)))
+	case *ast.StarExpr:
+		ex.eval(st, t.X)
+		ex.baseWrite(st, t.X, v.hop(t.Pos(), "stored through "+ex.text(t.X)))
+	case *ast.SelectorExpr:
+		ex.fieldWrite(st, t, v)
+	}
+}
+
+// objOf resolves an identifier to its variable object.
+func (ex *execCtx) objOf(id *ast.Ident) *types.Var {
+	if obj, ok := ex.info.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	obj, _ := ex.info.Uses[id].(*types.Var)
+	return obj
+}
+
+// noteEscape records taint leaving the function through a variable that
+// outlives it: package-level variables become global roots (when
+// root-tainted) or summary writes (when param-contingent).
+func (ex *execCtx) noteEscape(st state, obj *types.Var, v taint, pos token.Pos) {
+	if v.empty() || obj.Parent() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return
+	}
+	if v.roots.any() {
+		ex.a.rootForField(obj, "package variable "+obj.Name(),
+			&step{pos: pos, desc: "package variable " + obj.Name() + " assigned a secret", prev: v.tr})
+	}
+	if v.params != 0 {
+		ex.fi.sum.addWrite(-1, obj, v.params, v.tr)
+	}
+}
+
+// baseWrite joins v into the variable at the base of an expression chain
+// (a[i], *p, x.f ...), and records summary writes when that base is a
+// parameter, a field, or a package variable.
+func (ex *execCtx) baseWrite(st state, e ast.Expr, v taint) {
+	if v.empty() {
+		return
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := ex.objOf(e)
+		if obj == nil {
+			return
+		}
+		ex.noteEscape(st, obj, v, e.Pos())
+		if idx := ex.fi.paramIndex(obj); idx >= 0 && v.params != 0 {
+			ex.fi.sum.addWrite(idx, nil, v.params, v.tr)
+		}
+		st[obj] = join(st[obj], v)
+	case *ast.IndexExpr:
+		ex.baseWrite(st, e.X, v)
+	case *ast.StarExpr:
+		ex.baseWrite(st, e.X, v)
+	case *ast.SelectorExpr:
+		ex.fieldWrite(st, e, v)
+	}
+}
+
+// fieldWrite handles stores into x.f: root-tainted values promote the
+// field to a global root; param-contingent values become summary field
+// writes. The enclosing struct variable is deliberately NOT tainted —
+// taint is field-sensitive. Conflating container with contents would mark
+// every *Cipher as secret the moment its key schedule is filled in, and
+// from there every public property read through it (round counts, nil
+// checks on sibling fields) drowns the real leaks. The field root is
+// instance-insensitive, so reads through any instance still see the
+// taint; what is lost is only flows that smuggle a whole struct through
+// code that never touches the secret fields.
+func (ex *execCtx) fieldWrite(st state, sel *ast.SelectorExpr, v taint) {
+	if v.empty() {
+		return
+	}
+	field := ex.fieldOf(sel)
+	if field == nil {
+		return
+	}
+	if v.roots.any() {
+		ex.a.rootForField(field, "field "+field.Name()+" of "+ownerName(field),
+			&step{pos: sel.Sel.Pos(), desc: "field " + field.Name() + " assigned a secret", prev: v.tr})
+	}
+	if v.params != 0 {
+		ex.fi.sum.addWrite(-1, field, v.params, v.tr)
+	}
+}
+
+// fieldOf resolves x.f to the field's variable object (or a qualified
+// package variable pkg.V).
+func (ex *execCtx) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := ex.info.Selections[sel]; ok {
+		if f, ok := s.Obj().(*types.Var); ok && f.IsField() {
+			return f
+		}
+		return nil
+	}
+	// Qualified identifier: pkg.Var.
+	if v, ok := ex.info.Uses[sel.Sel].(*types.Var); ok && !v.IsField() {
+		return v
+	}
+	return nil
+}
+
+func ownerName(field *types.Var) string {
+	if field.Pkg() != nil {
+		return field.Pkg().Name() + " struct"
+	}
+	return "struct"
+}
+
+// paramIndex returns obj's position in the receiver-first parameter list,
+// or -1.
+func (fi *funcInfo) paramIndex(obj *types.Var) int {
+	for i, p := range fi.params {
+		if p == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+func (ex *execCtx) returnStmt(st state, s *ast.ReturnStmt) {
+	sig := ex.fi.obj.Type().(*types.Signature)
+	nres := sig.Results().Len()
+	if nres == 0 {
+		for _, r := range s.Results {
+			ex.eval(st, r)
+		}
+		return
+	}
+	vals := make([]taint, nres)
+	switch {
+	case len(s.Results) == 0:
+		// Naked return: named results carry their current taint.
+		for i := 0; i < nres; i++ {
+			if v := sig.Results().At(i); v.Name() != "" {
+				vals[i] = st[v]
+			}
+		}
+	case len(s.Results) == 1 && nres > 1:
+		vals = ex.evalMulti(st, s.Results[0], nres)
+	default:
+		for i, r := range s.Results {
+			if i < nres {
+				vals[i] = ex.eval(st, r)
+			}
+		}
+	}
+	sum := ex.fi.sum
+	for len(sum.results) < nres {
+		sum.results = append(sum.results, taint{})
+	}
+	for i, v := range vals {
+		sum.results[i] = join(sum.results[i], v.hop(s.Pos(), "returned from "+ex.fi.obj.Name()))
+	}
+}
+
+func (ex *execCtx) rangeStmt(st state, s *ast.RangeStmt) {
+	xt := ex.eval(st, s.X)
+	var keyT, valT taint
+	switch u := ex.info.TypeOf(s.X).Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsInteger != 0 {
+			// for i := range n — the trip count IS the value.
+			ex.sink(st, SinkBranch, s.X.Pos(), "range over "+ex.text(s.X), xt)
+			keyT = xt
+		} else {
+			valT = xt // string: byte positions are public, runes are not
+		}
+	case *types.Map:
+		keyT, valT = xt, xt
+	case *types.Chan:
+		keyT = xt
+	case *types.Signature:
+		keyT, valT = xt, xt // range-over-func: yielded values come from X
+	default:
+		valT = xt // array/slice: positions public, elements tainted
+	}
+	if s.Key != nil {
+		ex.assignTo(st, s.Key, keyT)
+	}
+	if s.Value != nil {
+		ex.assignTo(st, s.Value, valT)
+	}
+}
+
+// typeSwitch taints the per-clause implicit variables from the switched
+// operand. Which dynamic type a value has is public by policy (types are
+// not data), so the dispatch itself is not a branch sink.
+func (ex *execCtx) typeSwitch(st state, s *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch as := s.Assign.(type) {
+	case *ast.ExprStmt:
+		x = as.X.(*ast.TypeAssertExpr).X
+	case *ast.AssignStmt:
+		x = as.Rhs[0].(*ast.TypeAssertExpr).X
+	}
+	t := ex.eval(st, x)
+	if t.empty() {
+		return
+	}
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if obj, ok := ex.info.Implicits[cc].(*types.Var); ok {
+			st[obj] = t
+		}
+	}
+}
+
+// sortedCallers returns fi's callers in deterministic order, so the
+// worklist (and hence which witness a summary carries) never depends on
+// map iteration.
+func (a *analysis) sortedCallers(fi *funcInfo) []*funcInfo {
+	objs := make([]*types.Func, 0, len(fi.callers))
+	for obj := range fi.callers {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return a.callerIdx(objs[i]) < a.callerIdx(objs[j]) })
+	out := make([]*funcInfo, 0, len(objs))
+	for _, obj := range objs {
+		if c := a.funcs[obj]; c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (a *analysis) callerIdx(obj *types.Func) int {
+	if c := a.funcs[obj]; c != nil {
+		return c.idx
+	}
+	return -1
+}

@@ -256,6 +256,13 @@ func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*t
 	return pkg, nil
 }
 
+// FindModuleRoot walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path. cmd/rflint uses it to locate the
+// leak manifest and to resolve -since changed paths.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	return findModule(dir)
+}
+
 // findModule walks up from dir to the enclosing go.mod and returns the
 // module root directory and module path.
 func findModule(dir string) (root, modPath string, err error) {

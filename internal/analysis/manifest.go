@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"randfill/internal/atomicio"
+)
+
+// ManifestName is the leak manifest's file name at the module root.
+const ManifestName = "LEAKS.json"
+
+// Manifest is the committed leak inventory: the golden list of
+// secret-dependent sinks the victim packages are REQUIRED to have. The
+// attacks only work because internal/aes, internal/blowfish, and
+// internal/modexp leak at these exact sites, so the manifest is checked in
+// both directions — a finding outside the manifest is a new leak, and a
+// manifest entry with no finding means a victim silently stopped leaking
+// (and every experiment built on it measures nothing).
+type Manifest struct {
+	Leaks []Leak `json:"leaks"`
+}
+
+// Leak is one expected secret-dependent sink.
+type Leak struct {
+	// File is the module-relative slash-separated path.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Kind is "index", "branch", or "divmod".
+	Kind string `json:"kind"`
+	// Note says which victim behavior this site implements.
+	Note string `json:"note,omitempty"`
+}
+
+func (l Leak) key() string { return fmt.Sprintf("%s:%d:%s", l.File, l.Line, l.Kind) }
+
+// LoadManifest reads a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, l := range m.Leaks {
+		switch l.Kind {
+		case "index", "branch", "divmod":
+		default:
+			return nil, fmt.Errorf("%s: entry %s has unknown kind %q", path, l.key(), l.Kind)
+		}
+	}
+	return &m, nil
+}
+
+// diagKindFromMessage recovers a ctflow diagnostic's sink kind from its
+// stable message prefix.
+func diagKindFromMessage(d Diagnostic) string {
+	if d.Checker != "ctflow" {
+		return ""
+	}
+	switch {
+	case strings.HasPrefix(d.Message, "secret-dependent index:"):
+		return "index"
+	case strings.HasPrefix(d.Message, "secret-dependent branch:"):
+		return "branch"
+	case strings.HasPrefix(d.Message, "secret-dependent div/mod:"):
+		return "divmod"
+	}
+	return ""
+}
+
+// relFile converts a diagnostic's file to module-relative slash form.
+func relFile(modRoot, file string) string {
+	if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// Apply reconciles ctflow diagnostics against the manifest: findings
+// matching an entry by (file, line, kind) are expected and removed;
+// entries with no finding become SeverityError diagnostics (a victim
+// stopped leaking). inScope, when non-nil, limits the missing-entry check
+// to manifest files the current run actually analyzed, so scoped runs
+// (directory argument, -since) don't report every out-of-scope entry as
+// missing. Non-ctflow diagnostics pass through untouched.
+func (m *Manifest) Apply(diags []Diagnostic, modRoot string, inScope func(relFile string) bool) []Diagnostic {
+	expected := make(map[string]Leak, len(m.Leaks))
+	for _, l := range m.Leaks {
+		expected[l.key()] = l
+	}
+	seen := map[string]bool{}
+	var out []Diagnostic
+	for _, d := range diags {
+		kind := diagKindFromMessage(d)
+		if kind == "" {
+			out = append(out, d)
+			continue
+		}
+		key := Leak{File: relFile(modRoot, d.File), Line: d.Line, Kind: kind}.key()
+		if _, ok := expected[key]; ok {
+			seen[key] = true
+			continue
+		}
+		out = append(out, d)
+	}
+	var missing []Leak
+	reported := map[string]bool{}
+	for _, l := range m.Leaks {
+		if seen[l.key()] || reported[l.key()] {
+			continue
+		}
+		if inScope != nil && !inScope(l.File) {
+			continue
+		}
+		reported[l.key()] = true
+		missing = append(missing, l)
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].key() < missing[j].key() })
+	for _, l := range missing {
+		note := ""
+		if l.Note != "" {
+			note = " (" + l.Note + ")"
+		}
+		out = append(out, Diagnostic{
+			File:     filepath.Join(modRoot, filepath.FromSlash(l.File)),
+			Line:     l.Line,
+			Checker:  "ctflow",
+			Severity: SeverityError,
+			Message: fmt.Sprintf("leak manifest entry not reproduced: expected a secret-dependent %s here%s — "+
+				"the victim stopped leaking, so the attacks and experiments built on it measure nothing; "+
+				"fix the regression or update %s", l.Kind, note, ManifestName),
+		})
+	}
+	return out
+}
+
+// BuildManifest turns the current ctflow findings into a manifest,
+// preserving the notes of entries that survive from old (matched by
+// file+line+kind). The result is sorted for a stable diff.
+func BuildManifest(diags []Diagnostic, modRoot string, old *Manifest) *Manifest {
+	notes := map[string]string{}
+	if old != nil {
+		for _, l := range old.Leaks {
+			notes[l.key()] = l.Note
+		}
+	}
+	seen := map[string]bool{}
+	m := &Manifest{Leaks: []Leak{}}
+	for _, d := range diags {
+		kind := diagKindFromMessage(d)
+		if kind == "" {
+			continue
+		}
+		l := Leak{File: relFile(modRoot, d.File), Line: d.Line, Kind: kind}
+		if seen[l.key()] {
+			continue
+		}
+		seen[l.key()] = true
+		l.Note = notes[l.key()]
+		m.Leaks = append(m.Leaks, l)
+	}
+	sort.Slice(m.Leaks, func(i, j int) bool { return m.Leaks[i].key() < m.Leaks[j].key() })
+	return m
+}
+
+// WriteManifest writes the manifest atomically (it is a result artifact:
+// a torn write would make every subsequent lint run lie).
+func (m *Manifest) WriteManifest(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,140 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"randfill/internal/analysis"
+)
+
+func ctflowDiag(modRoot, rel string, line int, kind, expr string) analysis.Diagnostic {
+	var prefix string
+	switch kind {
+	case "index":
+		prefix = "secret-dependent index:"
+	case "branch":
+		prefix = "secret-dependent branch:"
+	case "divmod":
+		prefix = "secret-dependent div/mod:"
+	}
+	return analysis.Diagnostic{
+		File:     filepath.Join(modRoot, filepath.FromSlash(rel)),
+		Line:     line,
+		Checker:  "ctflow",
+		Severity: analysis.SeverityWarning,
+		Message:  prefix + " " + expr + " (secret: parameter key of F)",
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	modRoot := t.TempDir()
+	diags := []analysis.Diagnostic{
+		ctflowDiag(modRoot, "internal/aes/cipher.go", 190, "index", "te0[s0>>24]"),
+		ctflowDiag(modRoot, "internal/aes/cipher.go", 190, "index", "te1[s1>>16&0xff]"), // same line: one entry
+		ctflowDiag(modRoot, "internal/modexp/modexp.go", 58, "divmod", "bits / w"),
+	}
+	old := &analysis.Manifest{Leaks: []analysis.Leak{
+		{File: "internal/aes/cipher.go", Line: 190, Kind: "index", Note: "round tables"},
+	}}
+	m := analysis.BuildManifest(diags, modRoot, old)
+	if len(m.Leaks) != 2 {
+		t.Fatalf("BuildManifest produced %d entries, want 2: %+v", len(m.Leaks), m.Leaks)
+	}
+	if m.Leaks[0].Note != "round tables" {
+		t.Errorf("surviving entry lost its note: %+v", m.Leaks[0])
+	}
+
+	path := filepath.Join(modRoot, analysis.ManifestName)
+	if err := m.WriteManifest(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := analysis.LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Leaks) != len(m.Leaks) {
+		t.Fatalf("round trip mismatch: wrote %+v, read %+v", m, got)
+	}
+	for i := range m.Leaks {
+		if got.Leaks[i] != m.Leaks[i] {
+			t.Fatalf("round trip entry %d: wrote %+v, read %+v", i, m.Leaks[i], got.Leaks[i])
+		}
+	}
+}
+
+func TestManifestApply(t *testing.T) {
+	modRoot := t.TempDir()
+	m := &analysis.Manifest{Leaks: []analysis.Leak{
+		{File: "internal/aes/cipher.go", Line: 190, Kind: "index"},
+		{File: "internal/blowfish/blowfish.go", Line: 138, Kind: "index", Note: "S-box"},
+	}}
+
+	expected := ctflowDiag(modRoot, "internal/aes/cipher.go", 190, "index", "te0[s0>>24]")
+	novel := ctflowDiag(modRoot, "internal/attacks/prime.go", 10, "branch", "bit != 0")
+	other := analysis.Diagnostic{
+		File: filepath.Join(modRoot, "internal/sim/sim.go"), Line: 3,
+		Checker: "detrand", Severity: analysis.SeverityError, Message: "time.Now",
+	}
+
+	out := m.Apply([]analysis.Diagnostic{expected, novel, other}, modRoot, nil)
+
+	var sawNovel, sawOther, sawMissing bool
+	for _, d := range out {
+		switch {
+		case d.File == expected.File && d.Line == expected.Line:
+			t.Errorf("manifest-matched finding not removed: %s", d)
+		case d.File == novel.File:
+			sawNovel = true
+		case d.Checker == "detrand":
+			sawOther = true
+		case strings.Contains(d.Message, "not reproduced"):
+			sawMissing = true
+			if d.Severity != analysis.SeverityError {
+				t.Errorf("missing-entry diagnostic severity = %v, want error", d.Severity)
+			}
+			if !strings.Contains(d.Message, "S-box") {
+				t.Errorf("missing-entry diagnostic lost the note: %s", d.Message)
+			}
+		}
+	}
+	if !sawNovel {
+		t.Error("novel leak (not in manifest) was swallowed")
+	}
+	if !sawOther {
+		t.Error("non-ctflow diagnostic did not pass through")
+	}
+	if !sawMissing {
+		t.Error("missing manifest entry not reported")
+	}
+}
+
+func TestManifestApplyScoped(t *testing.T) {
+	modRoot := t.TempDir()
+	m := &analysis.Manifest{Leaks: []analysis.Leak{
+		{File: "internal/blowfish/blowfish.go", Line: 138, Kind: "index"},
+	}}
+	// A scoped run that never analyzed blowfish must not call its entry missing.
+	out := m.Apply(nil, modRoot, func(rel string) bool {
+		return strings.HasPrefix(rel, "internal/aes/")
+	})
+	if len(out) != 0 {
+		t.Fatalf("out-of-scope manifest entry reported: %v", out)
+	}
+	out = m.Apply(nil, modRoot, nil)
+	if len(out) != 1 || !strings.Contains(out[0].Message, "not reproduced") {
+		t.Fatalf("unscoped run should report the missing entry, got %v", out)
+	}
+}
+
+func TestLoadManifestRejectsBadKind(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, analysis.ManifestName)
+	m := &analysis.Manifest{Leaks: []analysis.Leak{{File: "a.go", Line: 1, Kind: "timing"}}}
+	if err := m.WriteManifest(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.LoadManifest(path); err == nil {
+		t.Fatal("manifest with unknown kind loaded without error")
+	}
+}

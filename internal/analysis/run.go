@@ -13,13 +13,8 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []Analyzer) ([]Diagnost
 	for _, az := range analyzers {
 		enabled[az.Name()] = true
 	}
-	for _, pkg := range pkgs {
-		for _, az := range analyzers {
-			pass := &Pass{Analyzer: az, Fset: fset, Pkg: pkg, diags: &diags}
-			if err := az.Run(pass); err != nil {
-				return nil, err
-			}
-		}
+	if err := runAll(fset, pkgs, analyzers, &diags); err != nil {
+		return nil, err
 	}
 
 	dirs, malformed := parseDirectives(fset, pkgs)
@@ -42,18 +37,37 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []Analyzer) ([]Diagnost
 	return diags, nil
 }
 
+// runAll drives per-package analyzers over every package, and module
+// analyzers once over the whole package set.
+func runAll(fset *token.FileSet, pkgs []*Package, analyzers []Analyzer, diags *[]Diagnostic) error {
+	for _, pkg := range pkgs {
+		for _, az := range analyzers {
+			pass := &Pass{Analyzer: az, Fset: fset, Pkg: pkg, diags: diags}
+			if err := az.Run(pass); err != nil {
+				return err
+			}
+		}
+	}
+	for _, az := range analyzers {
+		ma, ok := az.(ModuleAnalyzer)
+		if !ok {
+			continue
+		}
+		mp := &ModulePass{Analyzer: az, Fset: fset, Pkgs: pkgs, diags: diags}
+		if err := ma.RunModule(mp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RunUnsuppressed is Run without the //lint:ignore filter; the analyzer
 // test harness uses it to assert that seeded violations are detected even
 // when the corpus also tests suppression.
 func RunUnsuppressed(fset *token.FileSet, pkgs []*Package, analyzers []Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, az := range analyzers {
-			pass := &Pass{Analyzer: az, Fset: fset, Pkg: pkg, diags: &diags}
-			if err := az.Run(pass); err != nil {
-				return nil, err
-			}
-		}
+	if err := runAll(fset, pkgs, analyzers, &diags); err != nil {
+		return nil, err
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

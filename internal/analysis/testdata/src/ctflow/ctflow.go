@@ -1,0 +1,100 @@
+// Package ctflow seeds violations for the interprocedural taint checker:
+// secret parameters (by name, in this seed package) reaching memory
+// indices, branch conditions, and integer div/mod — directly, across
+// function calls, and through struct fields — plus the clean patterns
+// (sanitizers, lengths, public data) that must not fire.
+package ctflow
+
+var table [256]byte
+var counts [16]int
+
+// Direct sinks in the seeded function itself.
+func direct(secretKey byte) byte {
+	v := table[secretKey] // want "secret-dependent index"
+	if secretKey > 128 { // want "secret-dependent branch"
+		v++
+	}
+	bucket := int(secretKey) % len(counts) // want "secret-dependent div/mod"
+	return v ^ byte(bucket)
+}
+
+// mix launders the secret through arithmetic in a helper whose own
+// parameter names are innocent; lookup then sinks it. The finding lands at
+// the sink inside lookup, reached only via the call chain.
+func mix(a, b byte) byte { return a ^ b }
+
+func lookup(t *[256]byte, i byte) byte {
+	return t[i] // want "secret-dependent index"
+}
+
+func crossFunction(keyByte byte) byte {
+	d := mix(keyByte, 0x5a)
+	return lookup(&table, d)
+}
+
+// windows loops a secret-derived number of times: the loop condition is a
+// branch on the secret (the modexp victim's window-count pattern).
+func windows(exponentBits int) int {
+	total := 0
+	for i := 0; i < exponentBits; i++ { // want "secret-dependent branch"
+		total += i
+	}
+	return total
+}
+
+// ctEq is a designated constant-time comparator: its result is
+// declassified, so indexing by it is clean.
+//
+//ctflow:sanitizer
+func ctEq(a, b byte) int {
+	d := int(a^b) - 1
+	return (d >> 8) & 1
+}
+
+func sanitized(secretKey byte) byte {
+	m := ctEq(secretKey, 0x42)
+	return table[m&0xff] // clean: sanitizer output is public
+}
+
+// lookupG sinks through a type-parameter value whose constraint only
+// admits arrays: generic code is still a memory access.
+func lookupG[T ~[256]byte](t T, i byte) byte {
+	return t[i] // want "secret-dependent index"
+}
+
+func generic(privKey byte) byte {
+	return lookupG[[256]byte](table, privKey)
+}
+
+// pick is instantiated with two explicit type arguments, so the call's
+// callee is an *ast.IndexListExpr; the engine must still resolve it.
+func pick[T any, U ~[]T](s U, i int) T {
+	return s[i] // want "secret-dependent index"
+}
+
+func genericTwo(secretIdx int, data []byte) byte {
+	return pick[byte, []byte](data, secretIdx)
+}
+
+// Field taint: a secret stored into a struct field taints every read of
+// that field, in any function.
+type state struct {
+	k byte
+}
+
+func fill(s *state, secretSeed byte) {
+	s.k = secretSeed
+}
+
+func useField(s *state) byte {
+	return table[s.k] // want "secret-dependent index"
+}
+
+// Clean patterns that must not fire: lengths are public, error checks are
+// public, and public parameters index freely.
+func clean(data []byte, secretKey byte) byte {
+	if len(data) == 0 {
+		return 0
+	}
+	return data[0] ^ secretKey
+}

@@ -20,3 +20,38 @@ func mapsAreAddressFree(privExponent string, m map[string]int) int {
 func publicIndexing(counts []int, bucket int) int {
 	return counts[bucket]
 }
+
+func keyHash(i int) int       { return i * 2654435761 }
+func keyHash2(key []byte) int { return int(key[0]) * 31 }
+
+func hashedIndex(key []byte, i int) byte {
+	// A callee whose *name* matches the secret pattern is a function, not
+	// an index value: keyHash(i) indexes by a hash of a public counter and
+	// must not fire. Hashing an actual secret still fires, via the
+	// argument identifier.
+	ok := sbox[keyHash(i)&0xff]
+	bad := sbox[keyHash2(key)&0xff] // want "secret-looking"
+	return ok ^ bad
+}
+
+// Generic victims: a type-parameter value constrained to arrays is still
+// addressable memory, and instantiation syntax around a callee must not
+// confuse the identifier scan.
+func lookupG[T ~[256]byte](t T, secretIdx byte) byte {
+	return t[secretIdx] // want "secret-looking"
+}
+
+func keyedHash[T ~int](i T) int        { return int(i) * 3 }
+func keyMix[A ~int, B ~int](a A, b B) int { return int(a) ^ int(b) }
+
+func genericCallees(i, j int) byte {
+	// The instantiated callees' names match the pattern but are skipped
+	// (IndexExpr and IndexListExpr instantiation respectively).
+	g := sbox[keyedHash[int](i)&0xff]
+	g2 := sbox[keyMix[int, int](i, j)&0xff]
+	return g ^ g2
+}
+
+// Instantiation used as a value parses as an IndexExpr whose index is a
+// type; it is not a memory access.
+var lookupBytes = lookupG[[256]byte]

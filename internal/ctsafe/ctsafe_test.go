@@ -1,0 +1,65 @@
+package ctsafe
+
+import "testing"
+
+func TestEqMask8(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for _, b := range []int{0, 1, a, a ^ 1, 127, 128, 255} {
+			want := byte(0)
+			if a == b {
+				want = 0xff
+			}
+			if got := EqMask8(byte(a), byte(b)); got != want {
+				t.Fatalf("EqMask8(%#x, %#x) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSelect8(t *testing.T) {
+	if got := Select8(0xff, 0xab, 0xcd); got != 0xab {
+		t.Fatalf("Select8(0xff) = %#x, want 0xab", got)
+	}
+	if got := Select8(0x00, 0xab, 0xcd); got != 0xcd {
+		t.Fatalf("Select8(0x00) = %#x, want 0xcd", got)
+	}
+}
+
+func TestLookupByte(t *testing.T) {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i*7 + 3)
+	}
+	for i := 0; i < 256; i++ {
+		if got := LookupByte(&table, byte(i)); got != table[i] {
+			t.Fatalf("LookupByte(%d) = %#x, want %#x", i, got, table[i])
+		}
+	}
+}
+
+func TestLookupU32(t *testing.T) {
+	var table [256]uint32
+	for i := range table {
+		table[i] = uint32(i) * 0x01010101
+	}
+	for i := 0; i < 256; i++ {
+		if got := LookupU32(&table, byte(i)); got != table[i] {
+			t.Fatalf("LookupU32(%d) = %#x, want %#x", i, got, table[i])
+		}
+	}
+}
+
+func TestXtime(t *testing.T) {
+	branchy := func(b byte) byte {
+		v := b << 1
+		if b&0x80 != 0 {
+			v ^= 0x1b
+		}
+		return v
+	}
+	for i := 0; i < 256; i++ {
+		if got, want := Xtime(byte(i)), branchy(byte(i)); got != want {
+			t.Fatalf("Xtime(%#x) = %#x, want %#x", i, got, want)
+		}
+	}
+}

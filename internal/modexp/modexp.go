@@ -61,7 +61,10 @@ func (e *Exponentiator) Windows(bits int) int {
 // Exp computes base^x mod n, reporting each multiplier-table lookup to rec
 // (nil for none). Every window performs a lookup — including zero windows —
 // as constant-*sequence* implementations do; the leakage is purely which
-// entry is read.
+// entry is read. The exponent is the secret (its name does not match the
+// taint heuristic, so it is declared explicitly):
+//
+//ctflow:secret x
 func (e *Exponentiator) Exp(x *big.Int, rec Recorder) *big.Int {
 	if x.Sign() < 0 {
 		panic("modexp: negative exponent")

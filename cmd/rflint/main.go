@@ -239,8 +239,14 @@ func main() {
 // the set of package directories to report on. A change to the analysis
 // framework, the checkers, this command, or go.mod invalidates every
 // package's verdict, so those return a nil scope (= full lint).
+//
+// Both git commands run in modRoot, and the diff uses --relative with a
+// `.` pathspec so paths come back relative to the module root even when
+// the module lives in a subdirectory of the git repository (git's default
+// is top-level-relative paths, which would map to nonexistent dirs and
+// silently empty the scope). ls-files is cwd-relative already.
 func changedScope(modRoot, ref string, pkgs []*analysis.Package) (map[string]bool, error) {
-	files, err := gitLines(modRoot, "diff", "--name-only", ref, "--")
+	files, err := gitLines(modRoot, "diff", "--name-only", "--relative", ref, "--", ".")
 	if err != nil {
 		return nil, fmt.Errorf("-since %s: %w", ref, err)
 	}

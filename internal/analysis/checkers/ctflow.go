@@ -1,6 +1,7 @@
 package checkers
 
 import (
+	"go/token"
 	"strings"
 
 	"randfill/internal/analysis"
@@ -65,6 +66,14 @@ func (ctflow) RunModule(mp *analysis.ModulePass) error {
 		},
 		SkipSinkFile: func(filename string) bool {
 			return strings.HasSuffix(filename, "_test.go")
+		},
+		// Soundness warnings (today: the 64-parameter summary cap) become
+		// ordinary diagnostics, so an untrackable signature fails lint
+		// instead of silently dropping taint. The message deliberately
+		// matches no manifest kind prefix, so reconciliation passes it
+		// through.
+		Warn: func(pos token.Pos, msg string) {
+			mp.Report(pos, analysis.SeverityWarning, msg, nil)
 		},
 	})
 	for _, f := range findings {

@@ -41,9 +41,15 @@
 // modeled. Function literals are analyzed with a snapshot of their
 // enclosing state, so sinks in closures over tainted variables are found,
 // but taint entering a closure through its own parameters is not tracked.
+// Parameter-contingent summaries track the first 64 parameters of a
+// function (receiver included) as a bitmask; taint flowing through a
+// parameter at position 64 or later is dropped. So the gap is never
+// silent, the engine reports every function that exceeds the cap through
+// Config.Warn (the ctflow checker turns that into a lint warning).
 package flow
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -121,9 +127,14 @@ type Config struct {
 	// matching file (the ctflow checker skips _test.go: tests branching on
 	// the secrets they themselves construct are harness behavior).
 	SkipSinkFile func(filename string) bool
-	// MaxSteps caps trace length (default 16; longer chains keep the
-	// source end and the sink end).
+	// MaxSteps caps trace length, truncation marker included (default 16;
+	// longer chains keep the source end and the sink end with a marker
+	// between them).
 	MaxSteps int
+	// Warn, when non-nil, receives soundness warnings the engine cannot
+	// express as findings — today only the 64-parameter summary cap (see
+	// the package comment).
+	Warn func(pos token.Pos, msg string)
 }
 
 // IndexableMemory reports whether indexing a value of type t addresses
@@ -322,6 +333,12 @@ func (a *analysis) addFunc(pkg *PackageInfo, d *ast.FuncDecl) {
 	}
 	for i := 0; i < sig.Params().Len(); i++ {
 		fi.params = append(fi.params, sig.Params().At(i))
+	}
+	if len(fi.params) > 64 && a.cfg.Warn != nil {
+		a.cfg.Warn(d.Name.Pos(), fmt.Sprintf(
+			"%s has %d parameters (receiver included) but interprocedural taint is tracked only through the first 64; "+
+				"taint flowing through the later parameters is NOT followed — shrink the signature or pass them through a struct",
+			obj.Name(), len(fi.params)))
 	}
 	a.funcs[obj] = fi
 	a.order = append(a.order, fi)

@@ -340,9 +340,10 @@ func (a *analysis) recordFinding(pos token.Pos, kind SinkKind, expr string, t ta
 
 // flatten renders a newest-first witness chain (with the root's own
 // declaration step appended at the source end) as oldest-first Steps,
-// capped at MaxSteps keeping both ends. When the chain already ends at
-// the root's declaration step (taint seeded directly from the root
-// carries its tr), the root chain is not appended again.
+// capped at MaxSteps keeping both ends; the truncation marker counts
+// toward the cap. When the chain already ends at the root's declaration
+// step (taint seeded directly from the root carries its tr), the root
+// chain is not appended again.
 func (a *analysis) flatten(chain, rootTr *step) []Step {
 	var rev []Step
 	for s := chain; s != nil; s = s.prev {
@@ -362,9 +363,11 @@ func (a *analysis) flatten(chain, rootTr *step) []Step {
 		out = append(out, rev[i])
 	}
 	if cap := a.cfg.MaxSteps; len(out) > cap {
-		head := cap / 2
-		tail := cap - head
-		trimmed := make([]Step, 0, cap+1)
+		// The marker occupies one of the cap slots, so the result is exactly
+		// cap steps: head real steps, the marker, tail real steps.
+		head := (cap - 1) / 2
+		tail := cap - 1 - head
+		trimmed := make([]Step, 0, cap)
 		trimmed = append(trimmed, out[:head]...)
 		trimmed = append(trimmed, Step{Pos: token.NoPos, Desc: "... (trace truncated)"})
 		trimmed = append(trimmed, out[len(out)-tail:]...)

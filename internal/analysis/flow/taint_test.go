@@ -15,6 +15,12 @@ import (
 // analyzeSrc type-checks one import-free snippet and runs the engine.
 func analyzeSrc(t *testing.T, src string) []Finding {
 	t.Helper()
+	return analyzeSrcCfg(t, src, nil)
+}
+
+// analyzeSrcCfg is analyzeSrc with a Config hook applied before Analyze.
+func analyzeSrcCfg(t *testing.T, src string, mod func(*Config)) []Finding {
+	t.Helper()
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
 	if err != nil {
@@ -33,10 +39,14 @@ func analyzeSrc(t *testing.T, src string) []Finding {
 	if err != nil {
 		t.Fatalf("typecheck: %v", err)
 	}
-	return Analyze(Config{
+	cfg := Config{
 		Fset: fset,
 		Pkgs: []*PackageInfo{{Path: "p", Files: []*ast.File{file}, Types: pkg, Info: info}},
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return Analyze(cfg)
 }
 
 var sinkMarker = regexp.MustCompile(`sink:(index|branch|divmod)`)
@@ -418,6 +428,72 @@ func use(key int, b []byte, m map[int]int) {
 }
 `
 	run(t, src)
+}
+
+// TestMaxStepsCapIncludesMarker pins the truncation contract: a too-long
+// witness chain flattens to exactly MaxSteps steps — head, marker, tail —
+// not MaxSteps+1, with both endpoints preserved.
+func TestMaxStepsCapIncludesMarker(t *testing.T) {
+	a := newAnalysis(Config{MaxSteps: 5})
+	var chain *step
+	for i := 1; i <= 12; i++ {
+		chain = &step{pos: token.Pos(i), desc: fmt.Sprintf("hop %d", i), prev: chain}
+	}
+	out := a.flatten(chain, nil)
+	if len(out) != 5 {
+		t.Fatalf("MaxSteps=5 but flatten returned %d steps: %+v", len(out), out)
+	}
+	if out[0].Desc != "hop 1" {
+		t.Errorf("source end lost: first step is %q", out[0].Desc)
+	}
+	if out[len(out)-1].Desc != "hop 12" {
+		t.Errorf("sink end lost: last step is %q", out[len(out)-1].Desc)
+	}
+	markers := 0
+	for _, s := range out {
+		if strings.Contains(s.Desc, "trace truncated") {
+			markers++
+		}
+	}
+	if markers != 1 {
+		t.Errorf("want exactly one truncation marker, got %d in %+v", markers, out)
+	}
+}
+
+// TestParamCapWarns pins the 64-parameter soundness cap: taint through a
+// parameter at index 64+ is dropped (no finding — the documented gap),
+// and Config.Warn fires for the oversized function so the drop is never
+// silent.
+func TestParamCapWarns(t *testing.T) {
+	var src strings.Builder
+	src.WriteString("package p\nfunc wide(")
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&src, "p%d, ", i)
+	}
+	src.WriteString("last int, t [256]int) int {\n\treturn t[last]\n}\n")
+	src.WriteString("func use(key int, t [256]int) int {\n\treturn wide(")
+	for i := 0; i < 64; i++ {
+		src.WriteString("0, ")
+	}
+	src.WriteString("key, t)\n}\n")
+
+	var warns []string
+	got := analyzeSrcCfg(t, src.String(), func(cfg *Config) {
+		cfg.Warn = func(pos token.Pos, msg string) {
+			if !pos.IsValid() {
+				t.Errorf("warning carries no position: %q", msg)
+			}
+			warns = append(warns, msg)
+		}
+	})
+	if len(warns) != 1 || !strings.Contains(warns[0], "wide") || !strings.Contains(warns[0], "66") {
+		t.Fatalf("want one warning naming wide and its 66 params, got %q", warns)
+	}
+	// The gap the warning exists for: key flows into wide as the 65th
+	// parameter, outside the summary mask, so the t[last] sink is missed.
+	if len(got) != 0 {
+		t.Fatalf("expected the over-cap flow to be (documentedly) dropped, got %+v", describe(got))
+	}
 }
 
 func TestParseSecretNames(t *testing.T) {

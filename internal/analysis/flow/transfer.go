@@ -63,6 +63,9 @@ func (a *analysis) analyzeFunc(fi *funcInfo, record bool) {
 	init := state{}
 	for i, p := range fi.params {
 		var t taint
+		// Parameters beyond the 64-bit mask get no param-contingent taint;
+		// the cap is documented in the package comment and addFunc warns
+		// (Config.Warn) on every function that exceeds it.
 		if i < 64 {
 			t.params = 1 << uint(i)
 		}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint lint-fast ci cover bench bench-json bench-compare profile experiments fuzz crash-resume clean
+.PHONY: all build test test-short vet lint lint-fast ci cover bench bench-json bench-compare profile experiments fuzz fuzz-smoke conformance crash-resume clean
 
 all: build lint test
 
@@ -81,6 +81,23 @@ crash-resume:
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/traceio/
 	$(GO) test -fuzz=FuzzEncryptMatchesStdlib -fuzztime=30s ./internal/aes/
+	$(GO) test -fuzz=FuzzScatterIndex -fuzztime=30s ./internal/scattercache/
+	$(GO) test -fuzz=FuzzMirageEvict -fuzztime=30s ./internal/mirage/
+
+# CI's bounded fuzz budget for the design invariants (see ci.yml
+# fuzz-smoke): the committed seed corpora always run; the live fuzz loop
+# gets a fixed time slice so the job's wall-clock is deterministic.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzScatterIndex -fuzztime=20s ./internal/scattercache/
+	$(GO) test -fuzz=FuzzMirageEvict -fuzztime=20s ./internal/mirage/
+
+# Design-conformance suite: every registered SecureCache design against the
+# shared contract, under the race detector (see ci.yml design-conformance).
+conformance:
+	$(GO) test -race -run 'Conformance' ./internal/securecache/... \
+		./internal/core/ ./internal/newcache/ ./internal/plcache/ \
+		./internal/rpcache/ ./internal/nomo/ ./internal/scattercache/ \
+		./internal/mirage/
 
 clean:
 	$(GO) clean ./...

@@ -177,6 +177,47 @@ func TestCrashResumeKillAndResume(t *testing.T) {
 	}
 }
 
+// TestCrashResumeOccupancyMatrix: the design-matrix experiment honors the
+// same contract — kill a run after 3 of its 7 per-design checkpoints, then
+// resume at every worker count to the uninterrupted run's exact bytes.
+func TestCrashResumeOccupancyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill-and-resume runs")
+	}
+	clean := runBin(t, "-run", "OccupancyMatrix", "-scale", "quick", "-workers", "1")
+	if clean.code != 0 {
+		t.Fatalf("clean run exited %d:\n%s", clean.code, clean.stderr)
+	}
+
+	crashDir := t.TempDir()
+	saveArtifacts(t, crashDir)
+	killed := runBin(t, "-run", "OccupancyMatrix", "-scale", "quick",
+		"-checkpoint-dir", crashDir, "-fault-plan", "kill-after-puts=3")
+	if killed.code != faultinject.KillExitCode {
+		t.Fatalf("killed run exited %d, want %d:\n%s", killed.code, faultinject.KillExitCode, killed.stderr)
+	}
+	if n := len(ckpts(t, crashDir)); n != 3 {
+		t.Fatalf("killed run left %d checkpoints, want 3", n)
+	}
+
+	for _, workers := range []string{"1", "2", "8"} {
+		dir := copyDir(t, crashDir)
+		saveArtifacts(t, dir)
+		resumed := runBin(t, "-run", "OccupancyMatrix", "-scale", "quick",
+			"-checkpoint-dir", dir, "-resume", "-workers", workers)
+		if resumed.code != 0 {
+			t.Fatalf("workers=%s: resume exited %d:\n%s", workers, resumed.code, resumed.stderr)
+		}
+		if resumed.stdout != clean.stdout {
+			t.Errorf("workers=%s: resumed stdout differs from uninterrupted run\n--- resumed ---\n%s--- clean ---\n%s",
+				workers, resumed.stdout, clean.stdout)
+		}
+		if n := len(ckpts(t, dir)); n != 7 {
+			t.Errorf("workers=%s: resumed run holds %d checkpoints, want all 7 (one per design)", workers, n)
+		}
+	}
+}
+
 // TestCrashResumeTornCheckpoint: a checkpoint torn by the crash (or injected
 // torn mid-write) is detected by the CRC frame, silently re-run, and the
 // resumed output still matches the clean run byte for byte.

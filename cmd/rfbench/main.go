@@ -34,6 +34,7 @@ import (
 	"randfill/internal/experiments"
 	"randfill/internal/mem"
 	"randfill/internal/rng"
+	"randfill/internal/securecache"
 	"randfill/internal/sim"
 )
 
@@ -182,6 +183,37 @@ func kernels() []kernelDef {
 						thread.Step(trace[k])
 					}
 					thread.Drain()
+				}
+			},
+		},
+		{
+			name: "occupancy-probe",
+			desc: "cache-occupancy attack round loop: prime, victim sweep, probe-miss count (scattercache)",
+			run: func(short bool, b *testing.B) {
+				trials := 100
+				if short {
+					trials = 25
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := attacks.Occupancy(attacks.OccupancyConfig{
+						NewCache: func(src *rng.Source) securecache.SecureCache {
+							c, err := securecache.New("scattercache", securecache.Config{
+								Geom: cache.Geometry{SizeBytes: 8 * 1024, Ways: 4},
+							}, src)
+							if err != nil {
+								b.Fatal(err)
+							}
+							return c
+						},
+						Lines:       96,
+						VictimSizes: []int{16, 32, 64, 96},
+						Trials:      trials,
+						Seed:        uint64(17 + i),
+					})
+					if res.Trials != 4*trials {
+						b.Fatal("short occupancy run")
+					}
 				}
 			},
 		},

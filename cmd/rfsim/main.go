@@ -8,6 +8,8 @@
 //	rfsim -workload libquantum -window 0,15      # streaming speedup
 //	rfsim -workload aes -l1kind plcache -mode preload
 //	rfsim -workload sjeng -l1 8192 -ways 1 -mode disable
+//	rfsim -workload aes -design scattercache        # registry design by name
+//	rfsim -workload aes -design randfill            # SA + the paper's window
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"randfill/internal/mem"
 	"randfill/internal/prefetch"
 	"randfill/internal/rng"
+	"randfill/internal/securecache"
 	"randfill/internal/sim"
 	"randfill/internal/traceio"
 	"randfill/internal/workloads"
@@ -32,7 +35,8 @@ func main() {
 	traceFile := flag.String("trace", "", "replay a trace file (see cmd/rftrace) instead of generating a workload")
 	l1size := flag.Int("l1", 32*1024, "L1 data cache size in bytes")
 	ways := flag.Int("ways", 4, "L1 associativity")
-	l1kind := flag.String("l1kind", "sa", "L1 architecture: sa, newcache, plcache, rpcache, nomo")
+	l1kind := flag.String("l1kind", "sa", "L1 architecture: sa, newcache, plcache, rpcache, nomo, scattercache, mirage")
+	design := flag.String("design", "", "secure-cache design from the registry: "+strings.Join(securecache.Names(), ", "))
 	window := flag.String("window", "0,0", "random fill window as 'a,b' meaning [i-a, i+b]")
 	l2window := flag.String("l2window", "0,0", "random fill window at the L2 ('a,b'; 0,0 = demand fill)")
 	l3size := flag.Int("l3", 0, "add an L3 of this size in bytes (0 = two-level hierarchy)")
@@ -65,6 +69,23 @@ func main() {
 	cfg := sim.DefaultConfig()
 	cfg.L1 = cache.Geometry{SizeBytes: *l1size, Ways: *ways}
 	cfg.L1Kind = sim.CacheKind(*l1kind)
+	if *design != "" {
+		d, ok := securecache.ByName(*design)
+		if !ok {
+			fatal(fmt.Errorf("unknown design %q (have: %s)", *design, strings.Join(securecache.Names(), ", ")))
+		}
+		if d.Name == "randfill" {
+			// The paper's design is the SA cache plus the random fill
+			// policy; default to its evaluation window when none is given.
+			cfg.L1Kind = sim.KindSA
+			if w.Zero() && *mode == "" {
+				w = rng.Symmetric(32)
+			}
+		} else {
+			// Registry names deliberately match the simulator's kinds.
+			cfg.L1Kind = sim.CacheKind(d.Name)
+		}
+	}
 	cfg.MissQueue = *mshrs
 	cfg.Seed = *seed
 	cfg.L2Window = w2

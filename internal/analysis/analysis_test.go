@@ -78,6 +78,7 @@ func TestCheckerCorpus(t *testing.T) {
 		{"ctindex", "ctindex"},
 		{"ctflow", "ctflow"},
 		{"sim", "simlayer"},
+		{"securecache", "simlayer"},
 		{"atomicwrite", "atomicwrite"},
 	}
 	for _, tc := range cases {

@@ -7,21 +7,23 @@ import (
 	"randfill/internal/analysis"
 )
 
-// simlayer enforces the simulator's layering contract: internal/sim is a
-// composition layer over cache.Cache and hierarchy.Level, so concrete cache
-// architectures may only be constructed inside the designated level
-// builders (functions named build*, kept together in levels.go). A
-// constructor call anywhere else re-hardwires a level the way the
-// pre-hierarchy machine hardwired its L2 — the exact coupling the
-// refactor removed: code that constructs a concrete cache inline cannot be
-// retargeted to a different architecture or level count by configuration.
+// simlayer enforces the simulator's layering contract: internal/sim and
+// internal/securecache are composition layers over cache.Cache,
+// hierarchy.Level and securecache.SecureCache, so concrete cache
+// architectures may only be constructed inside the designated builders
+// (functions named build* — the level builders in sim/levels.go and the
+// registry factories in securecache/registry.go). A constructor call
+// anywhere else re-hardwires a level the way the pre-hierarchy machine
+// hardwired its L2 — the exact coupling the refactor removed: code that
+// constructs a concrete cache inline cannot be retargeted to a different
+// architecture, level count, or registry entry by configuration.
 // Test files are exempt (tests pin concrete behaviour on purpose).
 type simlayer struct{}
 
 func (simlayer) Name() string { return "simlayer" }
 
 func (simlayer) Doc() string {
-	return "forbids concrete cache construction in internal/sim outside the build* level builders"
+	return "forbids concrete cache construction in internal/sim and internal/securecache outside the build* builders"
 }
 
 // simlayerConstructors lists the cache-architecture constructors, as
@@ -32,10 +34,12 @@ var simlayerConstructors = []struct{ pkgSuffix, fn string }{
 	{"internal/plcache", "New"},
 	{"internal/rpcache", "New"},
 	{"internal/nomo", "New"},
+	{"internal/scattercache", "New"},
+	{"internal/mirage", "New"},
 }
 
 func (simlayer) Run(pass *analysis.Pass) error {
-	if !pathHasSuffix(pass.Pkg.Path, "sim") {
+	if !pathHasSuffix(pass.Pkg.Path, "sim") && !pathHasSuffix(pass.Pkg.Path, "securecache") {
 		return nil
 	}
 	info := pass.Pkg.Info

@@ -6,11 +6,13 @@ package sim
 
 import (
 	"randfill/internal/cache"
+	"randfill/internal/mirage"
 	"randfill/internal/newcache"
 	"randfill/internal/nomo"
 	"randfill/internal/plcache"
 	"randfill/internal/rng"
 	"randfill/internal/rpcache"
+	"randfill/internal/scattercache"
 )
 
 // Level builders may construct any concrete architecture.
@@ -24,6 +26,8 @@ func buildSecureStack(geom cache.Geometry, src *rng.Source) []cache.Cache {
 		plcache.New(geom),
 		rpcache.New(geom, src),
 		nomo.New(geom, 2, 1),
+		scattercache.New(geom, src),
+		mirage.New(geom, src),
 	}
 }
 
@@ -34,6 +38,8 @@ func wireMachine(geom cache.Geometry, src *rng.Source) cache.Cache {
 	_ = plcache.New(geom)                      // want "outside a level builder"
 	_ = rpcache.New(geom, src)                 // want "outside a level builder"
 	_ = nomo.New(geom, 2, 1)                   // want "outside a level builder"
+	_ = scattercache.New(geom, src)            // want "outside a level builder"
+	_ = mirage.New(geom, src)                  // want "outside a level builder"
 	return l2
 }
 

@@ -1,0 +1,247 @@
+package attacks
+
+import (
+	"math"
+
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+	"randfill/internal/securecache"
+)
+
+// OccupancyResult summarizes a cache-occupancy experiment: how much the
+// attacker learns about the victim's working-set size from its own misses.
+type OccupancyResult struct {
+	// Accuracy is the fraction of held-out rounds in which a maximum-
+	// a-posteriori decoder trained on the other rounds recovered the
+	// victim's working-set class from the attacker's probe-miss count.
+	Accuracy float64
+	// MutualInfo is the empirical mutual information in bits between the
+	// victim's working-set class and the attacker's probe-miss count.
+	MutualInfo float64
+	// InputBits is log2(len(VictimSizes)) — the channel input entropy.
+	InputBits float64
+	// MeanProbeMisses[i] is the mean attacker probe-miss count when the
+	// victim runs with working set VictimSizes[i].
+	MeanProbeMisses []float64
+	// Trials is the total number of prime → victim → probe rounds.
+	Trials int
+}
+
+// OccupancyConfig configures the occupancy attack. Unlike Flush-Reload this
+// channel needs no shared memory and no addresses in common: the attacker
+// only counts its own misses, so it works (or fails) purely on how a design
+// couples the two parties' capacity use.
+type OccupancyConfig struct {
+	// NewCache builds the shared cache under attack.
+	NewCache func(src *rng.Source) securecache.SecureCache
+	// Lines is the number of attacker prime lines (default: the cache's
+	// full capacity, the classic whole-cache occupancy probe).
+	Lines int
+	// VictimSizes are the victim working-set sizes (in lines) forming the
+	// channel's input alphabet. At least two distinct sizes are needed for
+	// a non-trivial channel.
+	VictimSizes []int
+	// Passes is how many sweeps the victim makes over its working set per
+	// round (default 2; the second pass re-touches lines the first pass
+	// may have self-evicted).
+	Passes int
+	// Trials is the number of rounds per victim size class.
+	Trials int
+	Seed   uint64
+}
+
+// victimBase places the victim's working set far from the attacker's prime
+// lines so the two parties share no addresses — the occupancy channel must
+// work through capacity contention alone.
+const victimBase mem.Line = 1 << 20
+
+// Occupancy mounts the attack: the attacker primes the cache with its own
+// lines, the victim sweeps a working set of secret size, and the attacker
+// re-accesses its prime lines counting misses. Each evicted prime line is
+// one bit of the victim's footprint; designs that randomize *placement*
+// (scattercache, newcache) still leak it, while designs that *partition*
+// (plcache locks, nomo reserved ways) or refuse demand fills (randfill's
+// no-fill policy on the victim side still fills neighbors, so it leaks too)
+// change the story. The sweep over VictimSizes recovers the response curve.
+func Occupancy(cfg OccupancyConfig) OccupancyResult {
+	src := rng.New(cfg.Seed ^ 0x0cc0)
+	c := cfg.NewCache(src.Split(1))
+
+	n := cfg.Lines
+	if n <= 0 {
+		n = c.NumLines()
+	}
+	passes := cfg.Passes
+	if passes <= 0 {
+		passes = 2
+	}
+	k := len(cfg.VictimSizes)
+	if k == 0 || cfg.Trials <= 0 {
+		return OccupancyResult{MeanProbeMisses: make([]float64, k)}
+	}
+
+	// joint[s][miss] counts rounds with victim class s and miss probe
+	// misses; misses range over 0..n.
+	joint := make([][]uint64, k)
+	for i := range joint {
+		joint[i] = make([]uint64, n+1)
+	}
+	train := make([][]uint64, k)
+	for i := range train {
+		train[i] = make([]uint64, n+1)
+	}
+	type round struct{ s, miss int }
+	var test []round
+
+	rounds := cfg.Trials * k
+	for r := 0; r < rounds; r++ {
+		s := src.Intn(k)
+		w := cfg.VictimSizes[s]
+
+		// Fresh round: empty cache, then the attacker primes its lines.
+		c.Flush()
+		c.SetParty(attackerDomain)
+		for i := 0; i < n; i++ {
+			c.Access(mem.Line(i), false)
+		}
+		// Victim: sweep a working set of secret size w.
+		c.SetParty(victimDomain)
+		for p := 0; p < passes; p++ {
+			for i := 0; i < w; i++ {
+				c.Access(victimBase+mem.Line(i), false)
+			}
+		}
+		// Probe: the attacker re-accesses its own lines and counts
+		// misses — no victim addresses involved.
+		c.SetParty(attackerDomain)
+		miss := 0
+		for i := 0; i < n; i++ {
+			if !c.Access(mem.Line(i), false) {
+				miss++
+			}
+		}
+
+		joint[s][miss]++
+		if r%2 == 0 {
+			train[s][miss]++
+		} else {
+			test = append(test, round{s, miss})
+		}
+	}
+
+	// Decode held-out rounds with a MAP rule over the training histogram.
+	correct := 0
+	for _, r := range test {
+		best, bestCount := 0, uint64(0)
+		for s := 0; s < k; s++ {
+			if train[s][r.miss] > bestCount {
+				best, bestCount = s, train[s][r.miss]
+			}
+		}
+		if best == r.s {
+			correct++
+		}
+	}
+	acc := 0.0
+	if len(test) > 0 {
+		acc = float64(correct) / float64(len(test))
+	}
+
+	mean := make([]float64, k)
+	for s := range joint {
+		var sum, cnt float64
+		for miss, cn := range joint[s] {
+			sum += float64(miss) * float64(cn)
+			cnt += float64(cn)
+		}
+		if cnt > 0 {
+			mean[s] = sum / cnt
+		}
+	}
+
+	return OccupancyResult{
+		Accuracy:        acc,
+		MutualInfo:      mutualInfo(joint),
+		InputBits:       math.Log2(float64(k)),
+		MeanProbeMisses: mean,
+		Trials:          rounds,
+	}
+}
+
+// ReuseConfig configures the design-generic reuse (flush + reload) probe.
+type ReuseConfig struct {
+	// NewCache builds the shared cache under attack.
+	NewCache func(src *rng.Source) securecache.SecureCache
+	// Region is the shared security-critical table the victim indexes
+	// with its secret.
+	Region mem.Region
+	// Pad extends the attacker's observable range Pad lines beyond the
+	// region on both sides, covering fills a windowed design may issue
+	// outside the region (the paper's best case for the attacker).
+	Pad int
+	// Trials is the number of flush → victim-access → reload rounds.
+	Trials int
+	Seed   uint64
+}
+
+// Reuse mounts Flush-Reload through the SecureCache interface, so the same
+// probe runs against every registered design: the victim's access follows
+// whatever fill policy the design implements (demand fill for the structural
+// designs, window fill for randfill). Designs that install the accessed line
+// leak it on reload; randfill's no-fill policy decorrelates the reload from
+// the secret.
+func Reuse(cfg ReuseConfig) FlushReloadResult {
+	src := rng.New(cfg.Seed ^ 0x4e5e)
+	c := cfg.NewCache(src.Split(1))
+
+	m := cfg.Region.NumLines()
+	first := cfg.Region.FirstLine()
+
+	obsLo := int64(first) - int64(cfg.Pad)
+	if obsLo < 0 {
+		obsLo = 0
+	}
+	obsHi := int64(first) + int64(m-1) + int64(cfg.Pad)
+	obsCount := int(obsHi-obsLo+1) + 1
+	obsNone := obsCount - 1
+
+	joint := make([][]uint64, m)
+	for i := range joint {
+		joint[i] = make([]uint64, obsCount)
+	}
+
+	hits := 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		// Flush the observable range (clflush loop).
+		c.SetParty(attackerDomain)
+		for l := obsLo; l <= obsHi; l++ {
+			c.Invalidate(mem.Line(l))
+		}
+		// Victim: one uniform secret-dependent access under the design's
+		// own fill policy.
+		c.SetParty(victimDomain)
+		s := src.Intn(m)
+		c.Access(first+mem.Line(s), false)
+		// Reload: probe each observable line without disturbing state.
+		obs := obsNone
+		victimObserved := false
+		for l := obsLo; l <= obsHi; l++ {
+			if c.Probe(mem.Line(l)) {
+				obs = int(l - obsLo)
+				if mem.Line(l) == first+mem.Line(s) {
+					victimObserved = true
+				}
+			}
+		}
+		if victimObserved {
+			hits++
+		}
+		joint[s][obs]++
+	}
+
+	return FlushReloadResult{
+		Accuracy:   float64(hits) / float64(cfg.Trials),
+		MutualInfo: mutualInfo(joint),
+		Trials:     cfg.Trials,
+	}
+}

@@ -1,0 +1,137 @@
+package attacks
+
+import (
+	"testing"
+
+	"randfill/internal/cache"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+	"randfill/internal/securecache"
+)
+
+func occFactory(name string) func(src *rng.Source) securecache.SecureCache {
+	return func(src *rng.Source) securecache.SecureCache {
+		c, err := securecache.New(name, securecache.Config{
+			Geom: cache.Geometry{SizeBytes: 4 * 1024, Ways: 4}, // 64 lines
+		}, src)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+}
+
+// TestOccupancyLeaksOnAllDesigns: the occupancy channel needs no shared
+// addresses, so placement randomization does not close it — every registered
+// design leaks the victim's working-set size through the attacker's own
+// probe misses.
+func TestOccupancyLeaksOnAllDesigns(t *testing.T) {
+	for _, d := range securecache.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			// Prime 3/4 of capacity: a full-capacity prime self-thrashes
+			// on way-partitioned designs (nomo grants each party only 3 of
+			// 4 ways), saturating the probe at "all miss" for every victim
+			// size. A calibrated attacker avoids that.
+			res := Occupancy(OccupancyConfig{
+				NewCache:    occFactory(d.Name),
+				Lines:       48,
+				VictimSizes: []int{8, 48},
+				Trials:      150,
+				Seed:        101,
+			})
+			if res.Trials != 300 {
+				t.Fatalf("Trials = %d, want 300", res.Trials)
+			}
+			if res.InputBits != 1 {
+				t.Fatalf("InputBits = %v, want 1", res.InputBits)
+			}
+			// Chance is 0.5; a 6x footprint gap should be clearly visible
+			// on every design.
+			if res.Accuracy < 0.75 {
+				t.Errorf("accuracy %.3f: occupancy decoder near chance", res.Accuracy)
+			}
+			if res.MutualInfo < 0.2 {
+				t.Errorf("mutual info %.3f bits: occupancy channel closed", res.MutualInfo)
+			}
+			if res.MeanProbeMisses[1] <= res.MeanProbeMisses[0] {
+				t.Errorf("probe misses not increasing in footprint: %v", res.MeanProbeMisses)
+			}
+		})
+	}
+}
+
+// TestOccupancyFootprintCurve: the attacker's mean miss count is monotone in
+// the victim's working-set size — the response curve the size sweep plots.
+func TestOccupancyFootprintCurve(t *testing.T) {
+	res := Occupancy(OccupancyConfig{
+		NewCache:    occFactory("scattercache"),
+		VictimSizes: []int{4, 16, 48},
+		Trials:      100,
+		Seed:        7,
+	})
+	m := res.MeanProbeMisses
+	if len(m) != 3 || !(m[0] < m[1] && m[1] < m[2]) {
+		t.Fatalf("mean probe misses %v not monotone in victim size", m)
+	}
+}
+
+// TestOccupancyDegenerate: empty configurations return a zero result rather
+// than panicking or dividing by zero.
+func TestOccupancyDegenerate(t *testing.T) {
+	res := Occupancy(OccupancyConfig{NewCache: occFactory("mirage")})
+	if res.Accuracy != 0 || res.MutualInfo != 0 || res.Trials != 0 {
+		t.Fatalf("degenerate config produced %+v", res)
+	}
+	one := Occupancy(OccupancyConfig{
+		NewCache:    occFactory("mirage"),
+		VictimSizes: []int{16},
+		Trials:      20,
+		Seed:        3,
+	})
+	if one.MutualInfo != 0 {
+		t.Fatalf("single-class channel has MI %.3f, want 0", one.MutualInfo)
+	}
+	if one.InputBits != 0 {
+		t.Fatalf("single-class InputBits = %v, want 0", one.InputBits)
+	}
+}
+
+// TestReuseSeparatesFillPolicies: the reuse probe through the SecureCache
+// interface reproduces the paper's core contrast — demand-fill designs leak
+// the victim's accessed line on reload, while randfill's no-fill policy
+// decorrelates the reload from the secret.
+func TestReuseSeparatesFillPolicies(t *testing.T) {
+	region := mem.Region{Base: 0x10000 + 4*1024, Size: 1024} // 16 lines
+	run := func(name string, pad int) FlushReloadResult {
+		return Reuse(ReuseConfig{
+			NewCache: occFactory(name),
+			Region:   region,
+			Pad:      pad,
+			Trials:   600,
+			Seed:     55,
+		})
+	}
+	demand := run("scattercache", 0)
+	if demand.Accuracy < 0.95 {
+		t.Errorf("scattercache reuse accuracy %.3f: demand fill should leak nearly always", demand.Accuracy)
+	}
+	if demand.MutualInfo < 3 {
+		t.Errorf("scattercache reuse MI %.3f bits, want near log2(16)=4", demand.MutualInfo)
+	}
+	// Give the attacker the paper's best case against randfill: observe the
+	// whole window-extended range.
+	rf := run("randfill", 16)
+	if rf.Accuracy > 0.2 {
+		t.Errorf("randfill reuse accuracy %.3f: no-fill should break reload", rf.Accuracy)
+	}
+	// The window fill still reveals the accessed line's neighborhood, so
+	// residual MI is nonzero (Section V.B); with a [-16,15] window over a
+	// 16-line table it stays well under half the demand-fill leak.
+	if rf.MutualInfo > 1.5 {
+		t.Errorf("randfill reuse MI %.3f bits: window fill leaks too much", rf.MutualInfo)
+	}
+	if demand.Accuracy <= rf.Accuracy || demand.MutualInfo <= rf.MutualInfo {
+		t.Errorf("reuse failed to separate fill policies: demand %+v vs randfill %+v", demand, rf)
+	}
+}

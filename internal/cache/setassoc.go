@@ -235,6 +235,19 @@ func (c *SetAssoc) Flush() {
 	}
 }
 
+// Occupancy returns the number of valid lines. It is a pure observer (no
+// replacement-state or counter updates): the occupancy-channel attacks read
+// it as ground truth for the victim footprint an attacker estimates.
+func (c *SetAssoc) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
 // Contents returns the line numbers of all valid lines, for tests and for
 // end-of-run profiler accounting.
 func (c *SetAssoc) Contents() []mem.Line {

@@ -44,7 +44,8 @@ func TestRegistry(t *testing.T) {
 		"AblationWindowShape", "AblationFillQueue", "AblationMissQueue",
 		"AblationDropOnHit", "AblationL2RandomFill", "Hierarchy3",
 		"ConstantTime",
-		"InformingDoS", "AdaptiveWindow", "Equation4", "MissQueueSecurity"}
+		"InformingDoS", "AdaptiveWindow", "Equation4", "MissQueueSecurity",
+		"OccupancyMatrix"}
 	if len(All()) != len(names) {
 		t.Fatalf("registry has %d experiments, want %d", len(All()), len(names))
 	}

@@ -1,0 +1,22 @@
+package newcache_test
+
+import (
+	"testing"
+
+	"randfill/internal/rng"
+	"randfill/internal/securecache"
+	"randfill/internal/securecache/conformance"
+)
+
+// TestDesignConformance runs the shared SecureCache conformance suite
+// against this package's registry entry ("newcache"), so a contract break
+// is caught next to the implementation that introduced it.
+func TestDesignConformance(t *testing.T) {
+	d, ok := securecache.ByName("newcache")
+	if !ok {
+		t.Fatal("newcache is not registered")
+	}
+	conformance.RunConformance(t, func(src *rng.Source) securecache.SecureCache {
+		return d.New(conformance.SmallConfig(), src)
+	})
+}

@@ -272,3 +272,15 @@ func (c *Newcache) Contents() []mem.Line {
 func (c *Newcache) String() string {
 	return fmt.Sprintf("Newcache(%dKB, k=%d)", c.physLines*mem.LineSize/1024, c.extraBits)
 }
+
+// Occupancy returns the number of valid physical lines. It is a pure
+// observer used by the occupancy-channel attacks as footprint ground truth.
+func (c *Newcache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -235,3 +235,15 @@ func (c *NoMo) DrainValid() {
 func (c *NoMo) String() string {
 	return fmt.Sprintf("NoMo(%v, %dx%d reserved)", c.geom, c.threads, c.reserved)
 }
+
+// Occupancy returns the number of valid lines. It is a pure observer used
+// by the occupancy-channel attacks as footprint ground truth.
+func (c *NoMo) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

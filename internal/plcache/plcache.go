@@ -278,3 +278,15 @@ func (c *PLcache) DrainValid() {
 }
 
 func (c *PLcache) String() string { return fmt.Sprintf("PLcache(%v)", c.geom) }
+
+// Occupancy returns the number of valid lines. It is a pure observer used
+// by the occupancy-channel attacks as footprint ground truth.
+func (c *PLcache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -309,3 +309,15 @@ func (c *RPcache) Contents() []mem.Line {
 }
 
 func (c *RPcache) String() string { return fmt.Sprintf("RPcache(%v)", c.geom) }
+
+// Occupancy returns the number of valid lines. It is a pure observer used
+// by the occupancy-channel attacks as footprint ground truth.
+func (c *RPcache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,22 @@
+package scattercache_test
+
+import (
+	"testing"
+
+	"randfill/internal/rng"
+	"randfill/internal/securecache"
+	"randfill/internal/securecache/conformance"
+)
+
+// TestDesignConformance runs the shared SecureCache conformance suite
+// against this package's registry entry ("scattercache"), so a contract break
+// is caught next to the implementation that introduced it.
+func TestDesignConformance(t *testing.T) {
+	d, ok := securecache.ByName("scattercache")
+	if !ok {
+		t.Fatal("scattercache is not registered")
+	}
+	conformance.RunConformance(t, func(src *rng.Source) securecache.SecureCache {
+		return d.New(conformance.SmallConfig(), src)
+	})
+}

@@ -1,0 +1,252 @@
+// Package scattercache implements a skewed-randomized cache in the style of
+// ScatterCache (Werner et al., USENIX Security 2019): each way is a
+// direct-mapped slice indexed by its own keyed hash of the line address, so
+// a line's candidate slot set {(w, H(skew_w, line)) : w} is different for
+// every key and congruent line groups cannot be built from the address
+// alone. Replacement picks a uniformly random way among the candidates, the
+// other half of the design's eviction-randomization argument.
+//
+// The occupancy channel is untouched by either mechanism: the attacker's
+// own miss count after a victim run still reflects how many lines the
+// victim displaced, regardless of where they were scattered — which is what
+// the OccupancyMatrix experiment demonstrates.
+package scattercache
+
+import (
+	"fmt"
+
+	"randfill/internal/cache"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+)
+
+// scLine is one slot of the scattered store.
+type scLine struct {
+	tag        mem.Line
+	valid      bool
+	dirty      bool
+	referenced bool
+	owner      int
+	offset     int8
+}
+
+// ScatterCache is the skewed-randomized cache. Way w owns the slot range
+// lines[w*sets : (w+1)*sets] and indexes it with skews[w].
+type ScatterCache struct {
+	geom  cache.Geometry
+	sets  int
+	ways  int
+	lines []scLine
+	skews []uint64 // per-way index-derivation keys
+	src   *rng.Source
+	stats cache.Stats
+	onEv  cache.EvictionObserver
+}
+
+var _ cache.Cache = (*ScatterCache)(nil)
+
+// New builds a ScatterCache with the given geometry, drawing the per-way
+// index keys and all replacement randomness from src. It panics on invalid
+// geometry, mirroring a hardware configuration error.
+func New(geom cache.Geometry, src *rng.Source) *ScatterCache {
+	lines := geom.SizeBytes / mem.LineSize
+	if geom.SizeBytes <= 0 || geom.SizeBytes%mem.LineSize != 0 {
+		panic(fmt.Sprintf("scattercache: size %d not a positive multiple of line size", geom.SizeBytes))
+	}
+	if geom.Ways <= 0 || lines%geom.Ways != 0 {
+		panic(fmt.Sprintf("scattercache: %d lines not divisible into %d ways", lines, geom.Ways))
+	}
+	sets := lines / geom.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("scattercache: set count %d not a power of two", sets))
+	}
+	c := &ScatterCache{
+		geom:  geom,
+		sets:  sets,
+		ways:  geom.Ways,
+		lines: make([]scLine, lines),
+		skews: make([]uint64, geom.Ways),
+		src:   src,
+	}
+	for w := range c.skews {
+		c.skews[w] = src.Uint64()
+	}
+	return c
+}
+
+// Index returns way-local set index of line l under the given skew key:
+// a splitmix64 finalizer over l XOR skew, masked to the power-of-two set
+// count. Exported so the fuzz harness can pin its algebraic properties
+// (determinism, range, key sensitivity) without a cache instance.
+func Index(skew uint64, l mem.Line, sets int) int {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("scattercache: set count %d not a positive power of two", sets))
+	}
+	z := uint64(l) ^ skew
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z & uint64(sets-1))
+}
+
+// Indexes returns the per-way set indexes of line l under the key set.
+func Indexes(skews []uint64, l mem.Line, sets int) []int {
+	out := make([]int, len(skews))
+	for w, skew := range skews {
+		out[w] = Index(skew, l, sets)
+	}
+	return out
+}
+
+// Geometry returns the cache's size and associativity.
+func (c *ScatterCache) Geometry() cache.Geometry { return c.geom }
+
+// NumLines returns the total line capacity.
+func (c *ScatterCache) NumLines() int { return len(c.lines) }
+
+// Stats returns the live statistics counters.
+func (c *ScatterCache) Stats() *cache.Stats { return &c.stats }
+
+// SetEvictionObserver registers fn to receive every displaced valid line.
+func (c *ScatterCache) SetEvictionObserver(fn cache.EvictionObserver) { c.onEv = fn }
+
+// Skews returns a copy of the per-way index keys, for tests.
+func (c *ScatterCache) Skews() []uint64 { return append([]uint64(nil), c.skews...) }
+
+// slot returns the flat index of line l's candidate slot in way w.
+func (c *ScatterCache) slot(w int, l mem.Line) int {
+	return w*c.sets + Index(c.skews[w], l, c.sets)
+}
+
+// find returns the flat slot index holding line l, or -1. A line can only
+// live at one of its ways' keyed indexes, so the scan is ways-long.
+func (c *ScatterCache) find(l mem.Line) int {
+	for w := 0; w < c.ways; w++ {
+		p := c.slot(w, l)
+		if c.lines[p].valid && c.lines[p].tag == l {
+			return p
+		}
+	}
+	return -1
+}
+
+// Lookup implements cache.Cache.
+func (c *ScatterCache) Lookup(l mem.Line, write bool) bool {
+	p := c.find(l)
+	if p < 0 {
+		c.stats.Misses++
+		return false
+	}
+	c.stats.Hits++
+	c.lines[p].referenced = true
+	if write {
+		c.lines[p].dirty = true
+	}
+	return true
+}
+
+// Probe implements cache.Cache.
+func (c *ScatterCache) Probe(l mem.Line) bool { return c.find(l) >= 0 }
+
+// Fill implements cache.Cache: install at an invalid candidate slot if one
+// exists, else at a uniformly random way's candidate slot, evicting its
+// occupant. The random way draw is the design's replacement randomization —
+// no recency state exists for an attacker to steer.
+func (c *ScatterCache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
+	if p := c.find(l); p >= 0 {
+		c.lines[p].dirty = c.lines[p].dirty || opts.Dirty
+		return cache.Victim{}
+	}
+	c.stats.Fills++
+	p := -1
+	for w := 0; w < c.ways; w++ {
+		if q := c.slot(w, l); !c.lines[q].valid {
+			p = q
+			break
+		}
+	}
+	var v cache.Victim
+	if p < 0 {
+		p = c.slot(c.src.Intn(c.ways), l)
+		v = c.evict(p)
+	}
+	c.lines[p] = scLine{
+		tag:    l,
+		valid:  true,
+		dirty:  opts.Dirty,
+		owner:  opts.Owner,
+		offset: opts.Offset,
+	}
+	return v
+}
+
+// evict clears slot p and returns its victim record, after notifying the
+// eviction observer and bumping counters.
+func (c *ScatterCache) evict(p int) cache.Victim {
+	v := cache.Victim{
+		Valid:      true,
+		Line:       c.lines[p].tag,
+		Dirty:      c.lines[p].dirty,
+		Referenced: c.lines[p].referenced,
+		Offset:     c.lines[p].offset,
+	}
+	c.stats.Evictions++
+	if v.Dirty {
+		c.stats.Writebacks++
+	}
+	if c.onEv != nil {
+		c.onEv(v)
+	}
+	c.lines[p].valid = false
+	return v
+}
+
+// Invalidate implements cache.Cache.
+func (c *ScatterCache) Invalidate(l mem.Line) bool {
+	p := c.find(l)
+	if p < 0 {
+		return false
+	}
+	c.stats.Invalidates++
+	c.evict(p)
+	return true
+}
+
+// Flush implements cache.Cache.
+func (c *ScatterCache) Flush() {
+	for p := range c.lines {
+		if c.lines[p].valid {
+			c.stats.Invalidates++
+			c.evict(p)
+		}
+	}
+}
+
+// Occupancy returns the number of valid lines. It is a pure observer used
+// by the occupancy-channel attacks as footprint ground truth.
+func (c *ScatterCache) Occupancy() int {
+	n := 0
+	for p := range c.lines {
+		if c.lines[p].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Contents returns the line numbers of all valid lines, for tests.
+func (c *ScatterCache) Contents() []mem.Line {
+	var out []mem.Line
+	for p := range c.lines {
+		if c.lines[p].valid {
+			out = append(out, c.lines[p].tag)
+		}
+	}
+	return out
+}
+
+func (c *ScatterCache) String() string {
+	return fmt.Sprintf("ScatterCache(%v)", c.geom)
+}

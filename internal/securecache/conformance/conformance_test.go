@@ -1,0 +1,26 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"randfill/internal/rng"
+	"randfill/internal/securecache"
+	"randfill/internal/securecache/conformance"
+)
+
+// TestConformanceAllDesigns runs the suite against every registered design,
+// so registering a design that breaks the contract fails here even before
+// its own package adopts the per-package test.
+func TestConformanceAllDesigns(t *testing.T) {
+	if len(securecache.All()) < 7 {
+		t.Fatalf("registry has %d designs, want >= 7", len(securecache.All()))
+	}
+	for _, d := range securecache.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			conformance.RunConformance(t, func(src *rng.Source) securecache.SecureCache {
+				return d.New(conformance.SmallConfig(), src)
+			})
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package securecache
+
+import (
+	"fmt"
+
+	"randfill/internal/cache"
+	"randfill/internal/core"
+	"randfill/internal/mirage"
+	"randfill/internal/newcache"
+	"randfill/internal/nomo"
+	"randfill/internal/plcache"
+	"randfill/internal/rng"
+	"randfill/internal/rpcache"
+	"randfill/internal/scattercache"
+)
+
+// Config sizes a design instance. The zero value selects the Table IV
+// defaults, scaled per field by withDefaults; designs ignore the fields
+// that do not apply to them.
+type Config struct {
+	// Geom is the cache geometry (default 32 KB, 4 ways). Mirage uses
+	// only its capacity.
+	Geom cache.Geometry
+	// Window is the random fill window (randfill only; default the
+	// paper's [-16,15]).
+	Window rng.Window
+	// ExtraBits is Newcache's number of extra index bits k (default 4).
+	ExtraBits int
+	// Threads and Reserved configure NoMo's way reservation (defaults:
+	// 2 threads, 1 reserved way each).
+	Threads  int
+	Reserved int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Geom.SizeBytes == 0 {
+		c.Geom = cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}
+	}
+	if c.Geom.Ways == 0 {
+		c.Geom.Ways = 4
+	}
+	if c.Window.Zero() {
+		c.Window = rng.Symmetric(32) // the paper's [-16,+15] evaluation window
+	}
+	if c.ExtraBits == 0 {
+		c.ExtraBits = 4
+	}
+	if c.Threads == 0 {
+		c.Threads = 2
+	}
+	if c.Reserved == 0 {
+		c.Reserved = 1
+	}
+	return c
+}
+
+// Design is one registry entry: a named, documented SecureCache factory.
+type Design struct {
+	// Name is the registry key, also accepted by `rfsim -design`.
+	Name string
+	// Description is a one-line summary of the protection mechanism.
+	Description string
+	// New builds a fresh instance. All randomness (index keys,
+	// permutations, replacement, fill windows) derives from src: same
+	// seed, same behaviour.
+	New func(cfg Config, src *rng.Source) SecureCache
+}
+
+// All returns the design registry in evaluation order: the paper's design
+// first, then the prior work it compares against, then the later
+// randomization families. The order is part of the OccupancyMatrix
+// experiment's byte-identity contract — do not reorder casually.
+func All() []Design {
+	return []Design{
+		{"randfill", "random fill: demand misses fill a random neighbor from the window, never the missing line", buildRandfill},
+		{"newcache", "Newcache: dynamically remapped logical direct-mapped cache with random replacement", buildNewcache},
+		{"plcache", "PLcache: per-line lock bits; locked lines are never evicted by other processes", buildPLcache},
+		{"rpcache", "RPcache: per-domain set permutation with deflected cross-domain evictions", buildRPcache},
+		{"nomo", "NoMo: static per-thread way reservation on an SMT core", buildNoMo},
+		{"scattercache", "ScatterCache-style: per-way keyed skewed indexing, random-way replacement", buildScatterCache},
+		{"mirage", "MIRAGE-style: fully-associative store with uniform global random eviction", buildMirage},
+	}
+}
+
+// Names returns the registered design names in registry order.
+func Names() []string {
+	ds := All()
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// ByName finds a registered design.
+func ByName(name string) (Design, bool) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Design{}, false
+}
+
+// New builds a named design, or errors with the known names.
+func New(name string, cfg Config, src *rng.Source) (SecureCache, error) {
+	d, ok := ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("securecache: unknown design %q (have %v)", name, Names())
+	}
+	return d.New(cfg, src), nil
+}
+
+// The factories below are the only places the registry constructs concrete
+// designs; the rflint simlayer checker enforces that (build* functions in
+// this package and internal/sim are the allowed construction sites). The
+// RNG split discipline matches the attacks' historical layout: cache
+// structure draws from src.Split(1), the random fill engine from
+// src.Split(2) — so a design built here behaves identically to one built
+// by hand with those splits.
+
+func buildRandfill(cfg Config, src *rng.Source) SecureCache {
+	cfg = cfg.withDefaults()
+	c := cache.NewSetAssoc(cfg.Geom, cache.LRU{})
+	eng := core.NewEngine(c, src.Split(2))
+	eng.SetRR(cfg.Window.A, cfg.Window.B)
+	return &randfill{design: c, eng: eng}
+}
+
+func buildNewcache(cfg Config, src *rng.Source) SecureCache {
+	cfg = cfg.withDefaults()
+	return &demand{design: newcache.New(cfg.Geom.SizeBytes, cfg.ExtraBits, src.Split(1))}
+}
+
+func buildPLcache(cfg Config, src *rng.Source) SecureCache {
+	cfg = cfg.withDefaults()
+	return &demand{design: plcache.New(cfg.Geom)}
+}
+
+func buildRPcache(cfg Config, src *rng.Source) SecureCache {
+	cfg = cfg.withDefaults()
+	return &demand{design: rpcache.New(cfg.Geom, src.Split(1))}
+}
+
+func buildNoMo(cfg Config, src *rng.Source) SecureCache {
+	cfg = cfg.withDefaults()
+	return &demand{design: nomo.New(cfg.Geom, cfg.Threads, cfg.Reserved)}
+}
+
+func buildScatterCache(cfg Config, src *rng.Source) SecureCache {
+	cfg = cfg.withDefaults()
+	return &demand{design: scattercache.New(cfg.Geom, src.Split(1))}
+}
+
+func buildMirage(cfg Config, src *rng.Source) SecureCache {
+	cfg = cfg.withDefaults()
+	return &demand{design: mirage.New(cfg.Geom, src.Split(1))}
+}

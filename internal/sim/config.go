@@ -37,6 +37,11 @@ const (
 	KindRPcache CacheKind = "rpcache"
 	// KindNoMo is the NoMo statically way-partitioned SMT cache.
 	KindNoMo CacheKind = "nomo"
+	// KindScatter is the ScatterCache-style skewed-index cache.
+	KindScatter CacheKind = "scattercache"
+	// KindMirage is the MIRAGE-style fully-associative random-eviction
+	// cache.
+	KindMirage CacheKind = "mirage"
 )
 
 // Config mirrors the paper's Table IV simulator configuration.
@@ -200,6 +205,10 @@ func (c Config) buildL1(src *rng.Source) cache.Cache {
 			reserved = 1
 		}
 		return buildNoMo(c.L1, threads, reserved)
+	case KindScatter:
+		return buildScatterCache(c.L1, src)
+	case KindMirage:
+		return buildMirage(c.L1, src)
 	default:
 		panic(fmt.Sprintf("sim: unknown L1 cache kind %q", c.L1Kind))
 	}

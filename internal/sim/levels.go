@@ -4,11 +4,13 @@ import (
 	"randfill/internal/cache"
 	"randfill/internal/core"
 	"randfill/internal/hierarchy"
+	"randfill/internal/mirage"
 	"randfill/internal/newcache"
 	"randfill/internal/nomo"
 	"randfill/internal/plcache"
 	"randfill/internal/rng"
 	"randfill/internal/rpcache"
+	"randfill/internal/scattercache"
 )
 
 // This file is the only place internal/sim may construct concrete caches:
@@ -31,6 +33,14 @@ func buildRPcache(geom cache.Geometry, src *rng.Source) cache.Cache {
 
 func buildNoMo(geom cache.Geometry, threads, reserved int) cache.Cache {
 	return nomo.New(geom, threads, reserved)
+}
+
+func buildScatterCache(geom cache.Geometry, src *rng.Source) cache.Cache {
+	return scattercache.New(geom, src)
+}
+
+func buildMirage(geom cache.Geometry, src *rng.Source) cache.Cache {
+	return mirage.New(geom, src)
 }
 
 // buildLevels constructs the machine's full level stack from cfg, drawing

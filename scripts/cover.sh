@@ -1,13 +1,16 @@
 #!/bin/sh
-# Statement-coverage gate for the hierarchy/simulator core (make cover, and
-# CI's coverage job). The three packages under the gate are the ones whose
-# miss-path and fill-policy semantics every experiment number depends on:
-# a refactor that silently un-tests them invalidates the goldens' meaning
-# even while the goldens still pass.
+# Statement-coverage gate for the hierarchy/simulator core and the secure
+# cache designs (make cover, and CI's coverage job). The packages under the
+# gate are the ones whose miss-path and fill-policy semantics every
+# experiment number depends on: a refactor that silently un-tests them
+# invalidates the goldens' meaning even while the goldens still pass. The
+# design packages added for the occupancy matrix (scattercache, mirage) and
+# the conformance suite that pins every design's contract sit under the same
+# gate for the same reason.
 set -eu
 
 THRESHOLD=80
-PKGS="randfill/internal/hierarchy randfill/internal/sim randfill/internal/core"
+PKGS="randfill/internal/hierarchy randfill/internal/sim randfill/internal/core randfill/internal/scattercache randfill/internal/mirage randfill/internal/securecache/conformance"
 
 fail=0
 for pkg in $PKGS; do

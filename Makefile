@@ -83,6 +83,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzEncryptMatchesStdlib -fuzztime=30s ./internal/aes/
 	$(GO) test -fuzz=FuzzScatterIndex -fuzztime=30s ./internal/scattercache/
 	$(GO) test -fuzz=FuzzMirageEvict -fuzztime=30s ./internal/mirage/
+	$(GO) test -fuzz=FuzzTraceCompile -fuzztime=30s ./internal/trace/
 
 # CI's bounded fuzz budget for the design invariants (see ci.yml
 # fuzz-smoke): the committed seed corpora always run; the live fuzz loop
@@ -90,6 +91,7 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzScatterIndex -fuzztime=20s ./internal/scattercache/
 	$(GO) test -fuzz=FuzzMirageEvict -fuzztime=20s ./internal/mirage/
+	$(GO) test -fuzz=FuzzTraceCompile -fuzztime=20s ./internal/trace/
 
 # Design-conformance suite: every registered SecureCache design against the
 # shared contract, under the race detector (see ci.yml design-conformance).

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -33,9 +34,11 @@ import (
 	"randfill/internal/cache"
 	"randfill/internal/experiments"
 	"randfill/internal/mem"
+	"randfill/internal/parexp"
 	"randfill/internal/rng"
 	"randfill/internal/securecache"
 	"randfill/internal/sim"
+	"randfill/internal/trace"
 )
 
 // Schema identifies the BENCH.json layout; bump on incompatible change.
@@ -109,64 +112,30 @@ func kernels() []kernelDef {
 		},
 		{
 			name: "sim-replay",
-			desc: "timing-simulator replay of an AES-CBC trace under a random fill window",
+			desc: "timing-simulator batch replay of an AES-CBC trace under a random fill window",
 			run: func(short bool, b *testing.B) {
-				bytes := 8 * 1024
-				if short {
-					bytes = 2 * 1024
-				}
-				src := rng.New(11)
-				var key, iv [16]byte
-				src.Bytes(key[:])
-				src.Bytes(iv[:])
-				pt := make([]byte, bytes)
-				src.Bytes(pt)
-				cipher, err := aes.New(key[:])
-				if err != nil {
-					b.Fatal(err)
-				}
-				tracer := &aes.Tracer{Cipher: cipher, Layout: aes.DefaultLayout()}
-				_, trace, err := tracer.EncryptCBC(pt, iv[:])
-				if err != nil {
-					b.Fatal(err)
-				}
+				tr := aesTrace(b, 11, short)
 				machine := sim.New(sim.DefaultConfig())
 				thread := machine.NewThread(sim.ThreadConfig{
 					Mode:   sim.ModeRandomFill,
 					Window: rng.Symmetric(16),
 				})
+				// Compile once, replay per op: the batch core's contract is
+				// that a trace is decoded a single time (DESIGN.md §12), so
+				// the kernel times replay of the precompiled word stream.
+				ct := trace.Compile(tr)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					for k := range trace {
-						thread.Step(trace[k])
-					}
+					thread.ReplayBatch(ct)
 					thread.Drain()
 				}
 			},
 		},
 		{
 			name: "hierarchy-replay",
-			desc: "3-level hierarchy replay of an AES-CBC trace: random fill at L1 and L2, demand-fill L3",
+			desc: "3-level hierarchy batch replay of an AES-CBC trace: random fill at L1 and L2, demand-fill L3",
 			run: func(short bool, b *testing.B) {
-				bytes := 8 * 1024
-				if short {
-					bytes = 2 * 1024
-				}
-				src := rng.New(13)
-				var key, iv [16]byte
-				src.Bytes(key[:])
-				src.Bytes(iv[:])
-				pt := make([]byte, bytes)
-				src.Bytes(pt)
-				cipher, err := aes.New(key[:])
-				if err != nil {
-					b.Fatal(err)
-				}
-				tracer := &aes.Tracer{Cipher: cipher, Layout: aes.DefaultLayout()}
-				_, trace, err := tracer.EncryptCBC(pt, iv[:])
-				if err != nil {
-					b.Fatal(err)
-				}
+				tr := aesTrace(b, 13, short)
 				cfg := sim.DefaultConfig()
 				cfg.Levels = []sim.LevelConfig{
 					{Geom: cache.Geometry{SizeBytes: 256 * 1024, Ways: 8}, HitLat: 12, Window: rng.Window{A: 8, B: 7}},
@@ -177,12 +146,36 @@ func kernels() []kernelDef {
 					Mode:   sim.ModeRandomFill,
 					Window: rng.Symmetric(16),
 				})
+				ct := trace.Compile(tr)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					for k := range trace {
-						thread.Step(trace[k])
-					}
+					thread.ReplayBatch(ct)
 					thread.Drain()
+				}
+			},
+		},
+		{
+			name: "replay-batch",
+			desc: "windowed concurrent replay: 8 cold windows of an AES-CBC trace across the parexp pool",
+			run: func(short bool, b *testing.B) {
+				tr := aesTrace(b, 11, short)
+				ct := trace.Compile(tr)
+				cfg := sim.DefaultConfig()
+				cfg.Seed = 11
+				tc := sim.ThreadConfig{
+					Mode:   sim.ModeRandomFill,
+					Window: rng.Symmetric(16),
+				}
+				want := uint64(0)
+				for i := range tr {
+					want += tr[i].Instructions()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rs := sim.ReplayWindows(cfg, tc, ct, parexp.Shards, 0)
+					if sim.MergeResults(rs).Instructions != want {
+						b.Fatal("windowed replay lost instructions")
+					}
 				}
 			},
 		},
@@ -194,24 +187,27 @@ func kernels() []kernelDef {
 				if short {
 					trials = 25
 				}
+				p := attacks.NewOccupancyProber(attacks.OccupancyConfig{
+					NewCache: func(src *rng.Source) securecache.SecureCache {
+						c, err := securecache.New("scattercache", securecache.Config{
+							Geom: cache.Geometry{SizeBytes: 8 * 1024, Ways: 4},
+						}, src)
+						if err != nil {
+							b.Fatal(err)
+						}
+						return c
+					},
+					Lines:       96,
+					VictimSizes: []int{16, 32, 64, 96},
+					Trials:      trials,
+					Seed:        17,
+				})
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					res := attacks.Occupancy(attacks.OccupancyConfig{
-						NewCache: func(src *rng.Source) securecache.SecureCache {
-							c, err := securecache.New("scattercache", securecache.Config{
-								Geom: cache.Geometry{SizeBytes: 8 * 1024, Ways: 4},
-							}, src)
-							if err != nil {
-								b.Fatal(err)
-							}
-							return c
-						},
-						Lines:       96,
-						VictimSizes: []int{16, 32, 64, 96},
-						Trials:      trials,
-						Seed:        uint64(17 + i),
-					})
-					if res.Trials != 4*trials {
+					// Each Run continues the prober's RNG stream: fresh
+					// rounds per op, zero allocations (the scratch pins in
+					// internal/attacks hold this at 0 allocs/op).
+					if res := p.Run(); res.Trials != 4*trials {
 						b.Fatal("short occupancy run")
 					}
 				}
@@ -225,24 +221,49 @@ func kernels() []kernelDef {
 				if short {
 					trials = 1000
 				}
+				p := attacks.NewFlushReloadProber(attacks.FlushReloadConfig{
+					NewCache: func(src *rng.Source) cache.Cache {
+						return cache.NewSetAssoc(cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}, cache.LRU{})
+					},
+					Window: rng.Symmetric(32),
+					Region: mem.Region{Base: 0x11000, Size: 1024},
+					Trials: trials,
+					Seed:   9,
+				})
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					res := attacks.FlushReload(attacks.FlushReloadConfig{
-						NewCache: func(src *rng.Source) cache.Cache {
-							return cache.NewSetAssoc(cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}, cache.LRU{})
-						},
-						Window: rng.Symmetric(32),
-						Region: mem.Region{Base: 0x11000, Size: 1024},
-						Trials: trials,
-						Seed:   uint64(9 + i),
-					})
-					if res.Trials != trials {
+					if res := p.Run(); res.Trials != trials {
 						b.Fatal("short flush-reload run")
 					}
 				}
 			},
 		},
 	}
+}
+
+// aesTrace builds the shared AES-CBC replay workload: an 8 KB (short: 2 KB)
+// encryption traced at the default table layout, seeded deterministically.
+func aesTrace(b *testing.B, seed uint64, short bool) mem.Trace {
+	bytes := 8 * 1024
+	if short {
+		bytes = 2 * 1024
+	}
+	src := rng.New(seed)
+	var key, iv [16]byte
+	src.Bytes(key[:])
+	src.Bytes(iv[:])
+	pt := make([]byte, bytes)
+	src.Bytes(pt)
+	cipher, err := aes.New(key[:])
+	if err != nil {
+		b.Fatal(err)
+	}
+	tracer := &aes.Tracer{Cipher: cipher, Layout: aes.DefaultLayout()}
+	_, tr, err := tracer.EncryptCBC(pt, iv[:])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
 }
 
 func main() {
@@ -350,10 +371,12 @@ func emit(rep Report, path string) error {
 	return atomicio.WriteFile(path, data, 0o644)
 }
 
-// compareBaseline prints a delta table of rep against the baseline file and
-// reports whether every kernel is within the ns/op regression threshold.
-// Kernels present on only one side are reported but never fail the gate
-// (adding a kernel must not require regenerating history first).
+// compareBaseline prints a benchstat-style delta table of rep against the
+// baseline file — ns/op and allocs/op side by side, with a geomean speedup
+// over the kernels both runs measured — and reports whether every kernel is
+// within the ns/op regression threshold. Kernels present on only one side are
+// reported but never fail the gate (adding a kernel must not require
+// regenerating history first).
 func compareBaseline(rep Report, path string, thresholdPct float64) (bool, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -372,12 +395,15 @@ func compareBaseline(rep Report, path string, thresholdPct float64) (bool, error
 	}
 
 	fmt.Printf("comparing against %s (commit %s)\n", path, base.Commit)
-	fmt.Printf("%-18s %14s %14s %8s %12s\n", "kernel", "old ns/op", "new ns/op", "delta", "allocs/op")
+	fmt.Printf("%-18s %14s %14s %8s %10s %10s %8s\n",
+		"kernel", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
 	ok := true
+	logRatioSum, compared := 0.0, 0
 	for _, k := range rep.Kernels {
 		o, found := old[k.Name]
 		if !found {
-			fmt.Printf("%-18s %14s %14.0f %8s %12d  (new kernel)\n", k.Name, "-", k.NsPerOp, "-", k.AllocsPerOp)
+			fmt.Printf("%-18s %14s %14.0f %8s %10s %10d %8s  (new kernel)\n",
+				k.Name, "-", k.NsPerOp, "-", "-", k.AllocsPerOp, "-")
 			continue
 		}
 		delta := 100 * (k.NsPerOp - o.NsPerOp) / o.NsPerOp
@@ -386,18 +412,43 @@ func compareBaseline(rep Report, path string, thresholdPct float64) (bool, error
 			verdict = "  REGRESSION"
 			ok = false
 		}
-		fmt.Printf("%-18s %14.0f %14.0f %+7.1f%% %12d%s\n",
-			k.Name, o.NsPerOp, k.NsPerOp, delta, k.AllocsPerOp, verdict)
+		fmt.Printf("%-18s %14.0f %14.0f %+7.1f%% %10d %10d %8s%s\n",
+			k.Name, o.NsPerOp, k.NsPerOp, delta,
+			o.AllocsPerOp, k.AllocsPerOp, allocDelta(o.AllocsPerOp, k.AllocsPerOp), verdict)
+		if o.NsPerOp > 0 && k.NsPerOp > 0 {
+			logRatioSum += math.Log(k.NsPerOp / o.NsPerOp)
+			compared++
+		}
 	}
 	for _, k := range base.Kernels {
 		if _, found := findKernel(rep.Kernels, k.Name); !found {
-			fmt.Printf("%-18s %14.0f %14s %8s %12s  (not run)\n", k.Name, k.NsPerOp, "-", "-", "-")
+			fmt.Printf("%-18s %14.0f %14s %8s %10d %10s %8s  (not run)\n",
+				k.Name, k.NsPerOp, "-", "-", k.AllocsPerOp, "-", "-")
 		}
+	}
+	if compared > 0 {
+		// benchstat convention: geomean of new/old time ratios over the
+		// kernels measured on both sides; < 1.00x means faster overall.
+		fmt.Printf("geomean ns/op ratio (new/old) over %d kernels: %.2fx\n",
+			compared, math.Exp(logRatioSum/float64(compared)))
 	}
 	if !ok {
 		fmt.Printf("FAIL: ns/op regression beyond %.0f%% tolerance\n", thresholdPct)
 	}
 	return ok, nil
+}
+
+// allocDelta formats the allocs/op change as a benchstat-style percentage,
+// with the 0 → 0 and N → 0 edges spelled out.
+func allocDelta(old, new int64) string {
+	switch {
+	case old == new:
+		return "0.0%"
+	case old == 0:
+		return "+inf"
+	default:
+		return fmt.Sprintf("%+.1f%%", 100*float64(new-old)/float64(old))
+	}
 }
 
 func findKernel(ks []Kernel, name string) (Kernel, bool) {

@@ -22,6 +22,7 @@ import (
 	"randfill/internal/rng"
 	"randfill/internal/sim"
 	"randfill/internal/stats"
+	"randfill/internal/trace"
 )
 
 // Round selects which AES round the collision attack targets.
@@ -93,10 +94,11 @@ type Collision struct {
 	src     *rng.Source
 	layout  aes.Layout
 	warmups int
-	// trace is the recycled per-encryption access trace; Collect runs one
-	// encryption per sample, so buffer reuse keeps the sample loop
-	// allocation-free.
+	// trace and ct are the recycled per-encryption access trace and its
+	// compiled form; Collect runs one encryption per sample, so buffer
+	// reuse keeps the sample loop allocation-free.
 	trace mem.Trace
+	ct    trace.Compiled
 }
 
 // bytePair identifies one recovered XOR relation.
@@ -261,20 +263,16 @@ func (a *Collision) Collect(n int) {
 		a.src.Bytes(pt[:])
 		a.cleanCache()
 		_, a.trace = a.tracer.EncryptBlockInto(a.trace[:0], pt[:], 0)
-		for i := range a.trace {
-			a.thread.Step(a.trace[i])
-		}
+		a.thread.ReplayBatch(trace.CompileInto(&a.ct, a.trace))
 		a.thread.Drain()
 	}
 	for s := 0; s < n; s++ {
 		a.src.Bytes(pt[:])
 		a.cleanCache()
 		start := a.thread.Cycle()
-		ct, trace := a.tracer.EncryptBlockInto(a.trace[:0], pt[:], 0)
-		a.trace = trace
-		for i := range trace {
-			a.thread.Step(trace[i])
-		}
+		var ct [16]byte
+		ct, a.trace = a.tracer.EncryptBlockInto(a.trace[:0], pt[:], 0)
+		a.thread.ReplayBatch(trace.CompileInto(&a.ct, a.trace))
 		a.thread.Drain()
 		elapsed := a.thread.Cycle() - start
 		a.timing.Add(elapsed)

@@ -43,6 +43,33 @@ type FlushReloadConfig struct {
 // for the attacker (Section V.B), the attacker can also observe lines just
 // outside the region that a random fill window may touch.
 func FlushReload(cfg FlushReloadConfig) FlushReloadResult {
+	return NewFlushReloadProber(cfg).Run()
+}
+
+// FlushReloadProber is a reusable Flush-Reload instance: the cache, fill
+// engine and joint histogram are allocated once, so each Run measures a full
+// round of trials without allocating (pinned by
+// TestFlushReloadProberZeroAlloc). The first Run of a fresh prober is
+// byte-identical to FlushReload(cfg); later Runs continue the prober's RNG
+// stream with fresh trials over the same channel.
+type FlushReloadProber struct {
+	cfg          FlushReloadConfig
+	src          *rng.Source
+	c            cache.Cache
+	eng          *core.Engine
+	m            int
+	first        mem.Line
+	obsLo, obsHi int64
+	obsNone      int
+
+	joint  [][]uint64
+	rowSum []float64
+	colSum []float64
+}
+
+// NewFlushReloadProber builds the shared cache, the victim's fill engine and
+// the measurement scratch for repeated Runs.
+func NewFlushReloadProber(cfg FlushReloadConfig) *FlushReloadProber {
 	src := rng.New(cfg.Seed ^ 0xf1e5)
 	c := cfg.NewCache(src.Split(1))
 	eng := core.NewEngine(c, src.Split(2))
@@ -60,35 +87,51 @@ func FlushReload(cfg FlushReloadConfig) FlushReloadResult {
 	}
 	obsHi := int64(first) + int64(m-1) + int64(cfg.Window.B)
 	obsCount := int(obsHi-obsLo+1) + 1
-	obsNone := obsCount - 1
 
-	joint := make([][]uint64, m)
-	for i := range joint {
-		joint[i] = make([]uint64, obsCount)
+	return &FlushReloadProber{
+		cfg:     cfg,
+		src:     src,
+		c:       c,
+		eng:     eng,
+		m:       m,
+		first:   first,
+		obsLo:   obsLo,
+		obsHi:   obsHi,
+		obsNone: obsCount - 1,
+		joint:   makeHist(m, obsCount),
+		rowSum:  make([]float64, m),
+		colSum:  make([]float64, obsCount),
 	}
+}
+
+// Run executes one full experiment (Trials flush → access → reload rounds)
+// and returns its result.
+func (p *FlushReloadProber) Run() FlushReloadResult {
+	c, eng, src := p.c, p.eng, p.src
+	zeroHist(p.joint)
 
 	hits := 0
-	for trial := 0; trial < cfg.Trials; trial++ {
+	for trial := 0; trial < p.cfg.Trials; trial++ {
 		// Flush: evict the whole observable range (clflush loop).
 		asDomain(c, attackerDomain)
-		for l := obsLo; l <= obsHi; l++ {
+		for l := p.obsLo; l <= p.obsHi; l++ {
 			c.Invalidate(mem.Line(l))
 		}
 		// Victim: one uniform secret-dependent access. (The data is
 		// shared, so under a domain-aware cache the victim still sees
 		// its own mapping.)
 		asDomain(c, victimDomain)
-		s := src.Intn(m)
-		eng.Access(first+mem.Line(s), false)
+		s := src.Intn(p.m)
+		eng.Access(p.first+mem.Line(s), false)
 		// Reload: time each observable line; a fast reload means the
 		// line is cached (Probe models the timing distinguisher).
 		asDomain(c, victimDomain)
-		obs := obsNone
+		obs := p.obsNone
 		victimObserved := false
-		for l := obsLo; l <= obsHi; l++ {
+		for l := p.obsLo; l <= p.obsHi; l++ {
 			if c.Probe(mem.Line(l)) {
-				obs = int(l - obsLo)
-				if mem.Line(l) == first+mem.Line(s) {
+				obs = int(l - p.obsLo)
+				if mem.Line(l) == p.first+mem.Line(s) {
 					victimObserved = true
 				}
 			}
@@ -96,26 +139,52 @@ func FlushReload(cfg FlushReloadConfig) FlushReloadResult {
 		if victimObserved {
 			hits++
 		}
-		joint[s][obs]++
+		p.joint[s][obs]++
 	}
 
 	return FlushReloadResult{
-		Accuracy:   float64(hits) / float64(cfg.Trials),
-		MutualInfo: mutualInfo(joint),
-		Trials:     cfg.Trials,
+		Accuracy:   float64(hits) / float64(p.cfg.Trials),
+		MutualInfo: mutualInfoInto(p.joint, p.rowSum, p.colSum),
+		Trials:     p.cfg.Trials,
+	}
+}
+
+// makeHist allocates a rows × cols count histogram over one backing array.
+func makeHist(rows, cols int) [][]uint64 {
+	back := make([]uint64, rows*cols)
+	out := make([][]uint64, rows)
+	for i := range out {
+		out[i] = back[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return out
+}
+
+// zeroHist clears a histogram in place for reuse.
+func zeroHist(h [][]uint64) {
+	for i := range h {
+		clear(h[i])
 	}
 }
 
 // mutualInfo computes I(S;R) in bits from a joint count histogram.
 func mutualInfo(joint [][]uint64) float64 {
-	var total float64
 	rows := len(joint)
 	if rows == 0 {
 		return 0
 	}
-	cols := len(joint[0])
-	rowSum := make([]float64, rows)
-	colSum := make([]float64, cols)
+	return mutualInfoInto(joint, make([]float64, rows), make([]float64, len(joint[0])))
+}
+
+// mutualInfoInto is mutualInfo with caller-provided marginal scratch (len
+// rows and len cols respectively), so repeated measurements can reuse one
+// pair of buffers.
+func mutualInfoInto(joint [][]uint64, rowSum, colSum []float64) float64 {
+	if len(joint) == 0 {
+		return 0
+	}
+	var total float64
+	clear(rowSum)
+	clear(colSum)
 	for i := range joint {
 		for j, n := range joint[i] {
 			rowSum[i] += float64(n)

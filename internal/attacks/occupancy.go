@@ -64,6 +64,40 @@ const victimBase mem.Line = 1 << 20
 // no-fill policy on the victim side still fills neighbors, so it leaks too)
 // change the story. The sweep over VictimSizes recovers the response curve.
 func Occupancy(cfg OccupancyConfig) OccupancyResult {
+	return NewOccupancyProber(cfg).Run()
+}
+
+// occRound is one held-out measurement awaiting MAP decoding.
+type occRound struct{ s, miss int }
+
+// OccupancyProber is a reusable occupancy-attack instance: the cache and
+// every histogram/scratch buffer are allocated once at construction, so each
+// Run performs a full prime → victim → probe experiment without allocating
+// (pinned by TestOccupancyProberZeroAlloc). The first Run of a fresh prober
+// is byte-identical to Occupancy(cfg) — construction performs exactly the
+// RNG draws the one-shot function performs before its round loop, and Run
+// continues that stream — while later Runs continue drawing from the same
+// stream (fresh rounds, same channel).
+type OccupancyProber struct {
+	cfg    OccupancyConfig
+	src    *rng.Source
+	c      securecache.SecureCache
+	n      int
+	passes int
+	k      int
+	rounds int
+
+	joint  [][]uint64
+	train  [][]uint64
+	test   []occRound
+	mean   []float64
+	rowSum []float64
+	colSum []float64
+}
+
+// NewOccupancyProber builds the cache under attack and all measurement
+// scratch for repeated Runs of the configured experiment.
+func NewOccupancyProber(cfg OccupancyConfig) *OccupancyProber {
 	src := rng.New(cfg.Seed ^ 0x0cc0)
 	c := cfg.NewCache(src.Split(1))
 
@@ -76,37 +110,54 @@ func Occupancy(cfg OccupancyConfig) OccupancyResult {
 		passes = 2
 	}
 	k := len(cfg.VictimSizes)
-	if k == 0 || cfg.Trials <= 0 {
-		return OccupancyResult{MeanProbeMisses: make([]float64, k)}
+	p := &OccupancyProber{
+		cfg:    cfg,
+		src:    src,
+		c:      c,
+		n:      n,
+		passes: passes,
+		k:      k,
+		mean:   make([]float64, k),
 	}
-
+	if k == 0 || cfg.Trials <= 0 {
+		return p
+	}
+	p.rounds = cfg.Trials * k
 	// joint[s][miss] counts rounds with victim class s and miss probe
 	// misses; misses range over 0..n.
-	joint := make([][]uint64, k)
-	for i := range joint {
-		joint[i] = make([]uint64, n+1)
-	}
-	train := make([][]uint64, k)
-	for i := range train {
-		train[i] = make([]uint64, n+1)
-	}
-	type round struct{ s, miss int }
-	var test []round
+	p.joint = makeHist(k, n+1)
+	p.train = makeHist(k, n+1)
+	p.test = make([]occRound, 0, (p.rounds+1)/2)
+	p.rowSum = make([]float64, k)
+	p.colSum = make([]float64, n+1)
+	return p
+}
 
-	rounds := cfg.Trials * k
-	for r := 0; r < rounds; r++ {
-		s := src.Intn(k)
-		w := cfg.VictimSizes[s]
+// Run executes one full experiment (Trials rounds per victim class) and
+// returns its result. The MeanProbeMisses slice is the prober's scratch,
+// valid until the next Run; Clone it to keep across Runs.
+func (p *OccupancyProber) Run() OccupancyResult {
+	if p.k == 0 || p.rounds == 0 {
+		return OccupancyResult{MeanProbeMisses: p.mean}
+	}
+	c, src := p.c, p.src
+	zeroHist(p.joint)
+	zeroHist(p.train)
+	p.test = p.test[:0]
+
+	for r := 0; r < p.rounds; r++ {
+		s := src.Intn(p.k)
+		w := p.cfg.VictimSizes[s]
 
 		// Fresh round: empty cache, then the attacker primes its lines.
 		c.Flush()
 		c.SetParty(attackerDomain)
-		for i := 0; i < n; i++ {
+		for i := 0; i < p.n; i++ {
 			c.Access(mem.Line(i), false)
 		}
 		// Victim: sweep a working set of secret size w.
 		c.SetParty(victimDomain)
-		for p := 0; p < passes; p++ {
+		for pass := 0; pass < p.passes; pass++ {
 			for i := 0; i < w; i++ {
 				c.Access(victimBase+mem.Line(i), false)
 			}
@@ -115,27 +166,27 @@ func Occupancy(cfg OccupancyConfig) OccupancyResult {
 		// misses — no victim addresses involved.
 		c.SetParty(attackerDomain)
 		miss := 0
-		for i := 0; i < n; i++ {
+		for i := 0; i < p.n; i++ {
 			if !c.Access(mem.Line(i), false) {
 				miss++
 			}
 		}
 
-		joint[s][miss]++
+		p.joint[s][miss]++
 		if r%2 == 0 {
-			train[s][miss]++
+			p.train[s][miss]++
 		} else {
-			test = append(test, round{s, miss})
+			p.test = append(p.test, occRound{s, miss})
 		}
 	}
 
 	// Decode held-out rounds with a MAP rule over the training histogram.
 	correct := 0
-	for _, r := range test {
+	for _, r := range p.test {
 		best, bestCount := 0, uint64(0)
-		for s := 0; s < k; s++ {
-			if train[s][r.miss] > bestCount {
-				best, bestCount = s, train[s][r.miss]
+		for s := 0; s < p.k; s++ {
+			if p.train[s][r.miss] > bestCount {
+				best, bestCount = s, p.train[s][r.miss]
 			}
 		}
 		if best == r.s {
@@ -143,28 +194,28 @@ func Occupancy(cfg OccupancyConfig) OccupancyResult {
 		}
 	}
 	acc := 0.0
-	if len(test) > 0 {
-		acc = float64(correct) / float64(len(test))
+	if len(p.test) > 0 {
+		acc = float64(correct) / float64(len(p.test))
 	}
 
-	mean := make([]float64, k)
-	for s := range joint {
+	for s := range p.joint {
 		var sum, cnt float64
-		for miss, cn := range joint[s] {
+		for miss, cn := range p.joint[s] {
 			sum += float64(miss) * float64(cn)
 			cnt += float64(cn)
 		}
+		p.mean[s] = 0
 		if cnt > 0 {
-			mean[s] = sum / cnt
+			p.mean[s] = sum / cnt
 		}
 	}
 
 	return OccupancyResult{
 		Accuracy:        acc,
-		MutualInfo:      mutualInfo(joint),
-		InputBits:       math.Log2(float64(k)),
-		MeanProbeMisses: mean,
-		Trials:          rounds,
+		MutualInfo:      mutualInfoInto(p.joint, p.rowSum, p.colSum),
+		InputBits:       math.Log2(float64(p.k)),
+		MeanProbeMisses: p.mean,
+		Trials:          p.rounds,
 	}
 }
 

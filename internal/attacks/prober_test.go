@@ -1,0 +1,96 @@
+package attacks
+
+import (
+	"fmt"
+	"testing"
+
+	"randfill/internal/cache"
+	"randfill/internal/mem"
+	"randfill/internal/rng"
+	"randfill/internal/securecache"
+)
+
+func benchOccupancyConfig(t testing.TB, seed uint64) OccupancyConfig {
+	return OccupancyConfig{
+		NewCache: func(src *rng.Source) securecache.SecureCache {
+			c, err := securecache.New("scattercache", securecache.Config{
+				Geom: cache.Geometry{SizeBytes: 8 * 1024, Ways: 4},
+			}, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+		Lines:       96,
+		VictimSizes: []int{16, 32, 64, 96},
+		Trials:      25,
+		Seed:        seed,
+	}
+}
+
+func benchFlushReloadConfig(seed uint64) FlushReloadConfig {
+	return FlushReloadConfig{
+		NewCache: func(src *rng.Source) cache.Cache {
+			return cache.NewSetAssoc(cache.Geometry{SizeBytes: 32 * 1024, Ways: 4}, cache.LRU{})
+		},
+		Window: rng.Symmetric(32),
+		Region: mem.Region{Base: 0x11000, Size: 1024},
+		Trials: 50,
+		Seed:   seed,
+	}
+}
+
+// TestOccupancyProberFirstRunMatchesOneShot pins the prober's construction
+// contract: a fresh prober's first Run is the one-shot Occupancy call, byte
+// for byte (same RNG stream consumed in the same order).
+func TestOccupancyProberFirstRunMatchesOneShot(t *testing.T) {
+	cfg := benchOccupancyConfig(t, 17)
+	got := fmt.Sprintf("%+v", NewOccupancyProber(cfg).Run())
+	want := fmt.Sprintf("%+v", Occupancy(benchOccupancyConfig(t, 17)))
+	if got != want {
+		t.Errorf("prober first run diverges from Occupancy():\n prober   %s\n one-shot %s", got, want)
+	}
+}
+
+func TestFlushReloadProberFirstRunMatchesOneShot(t *testing.T) {
+	got := NewFlushReloadProber(benchFlushReloadConfig(9)).Run()
+	want := FlushReload(benchFlushReloadConfig(9))
+	if got != want {
+		t.Errorf("prober first run diverges from FlushReload():\n prober   %+v\n one-shot %+v", got, want)
+	}
+}
+
+// TestOccupancyProberZeroAlloc pins the satellite acceptance criterion: a
+// full occupancy experiment round on a constructed prober allocates nothing.
+func TestOccupancyProberZeroAlloc(t *testing.T) {
+	p := NewOccupancyProber(benchOccupancyConfig(t, 17))
+	p.Run() // warm any lazy growth inside the cache under attack
+	if allocs := testing.AllocsPerRun(3, func() { p.Run() }); allocs > 0 {
+		t.Errorf("OccupancyProber.Run allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestFlushReloadProberZeroAlloc(t *testing.T) {
+	p := NewFlushReloadProber(benchFlushReloadConfig(9))
+	p.Run()
+	if allocs := testing.AllocsPerRun(3, func() { p.Run() }); allocs > 0 {
+		t.Errorf("FlushReloadProber.Run allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestProberRunsAreFreshTrials guards against the scratch reuse accidentally
+// freezing the measurement: two Runs of one prober continue the RNG stream,
+// so they are different experiments over the same channel.
+func TestProberRunsAreFreshTrials(t *testing.T) {
+	p := NewOccupancyProber(benchOccupancyConfig(t, 17))
+	a := fmt.Sprintf("%+v", p.Run())
+	b := fmt.Sprintf("%+v", p.Run())
+	if a == b {
+		t.Error("two occupancy prober runs returned identical results; RNG stream did not advance")
+	}
+	q := NewFlushReloadProber(benchFlushReloadConfig(9))
+	ra, rb := q.Run(), q.Run()
+	if ra == rb {
+		t.Error("two flush-reload prober runs returned identical results; RNG stream did not advance")
+	}
+}

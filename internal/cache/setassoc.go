@@ -6,33 +6,44 @@ import (
 	"randfill/internal/mem"
 )
 
-// line is the per-way state of the set-associative cache. Replacement-policy
-// state lives in SetAssoc.stamps, a parallel array, so the policy can operate
-// on a contiguous per-set stamp slice without any copying (the stamp
-// double-copy used to dominate the Lookup profile; see DESIGN.md §7).
-type line struct {
-	tag        mem.Line // full line number (tag comparison uses the whole value)
-	valid      bool
-	dirty      bool
-	referenced bool
-	locked     bool
-	owner      int
-	offset     int8
-}
+// Per-way metadata bits (see the SetAssoc field comments). Valid is not a
+// bit: a way is valid iff its tag is not invalidTag.
+const (
+	metaDirty uint8 = 1 << iota
+	metaReferenced
+	metaLocked
+)
+
+// invalidTag marks an empty way in the tags array. Real line numbers are
+// byte addresses shifted right by mem.LineShift, so the all-ones value can
+// never collide with a reachable line; using a sentinel instead of a valid
+// bit lets the hot probe compare tags alone, with no second flag load and no
+// way for a stale tag to alias a probed line (see DESIGN.md §12).
+const invalidTag = ^mem.Line(0)
 
 // SetAssoc is a conventional set-associative cache with a pluggable
 // replacement policy. It also serves direct-mapped (Ways=1) and fully
 // associative (Sets=1) shapes.
+//
+// Per-way state is struct-of-arrays: the tags array is the only state the
+// hit fast path touches (one contiguous cache line per 8 ways), the meta
+// array carries the dirty/referenced/locked bits, and replacement-policy
+// state lives in stamps, a parallel array the policy operates on as a
+// contiguous per-set subslice (the stamp double-copy used to dominate the
+// Lookup profile; see DESIGN.md §7, §12).
 type SetAssoc struct {
-	geom   Geometry
-	sets   int
-	ways   int
-	lines  []line   // sets*ways, row-major by set
-	stamps []uint64 // replacement-policy state, parallel to lines
-	policy Policy
-	tick   uint64
-	stats  Stats
-	onEv   EvictionObserver
+	geom    Geometry
+	sets    int
+	ways    int
+	tags    []mem.Line // sets*ways, row-major by set; invalidTag = empty way
+	meta    []uint8    // dirty/referenced/locked bits, parallel to tags
+	owners  []int      // owning process ids, parallel to tags
+	offsets []int8     // fill-offset tags, parallel to tags
+	stamps  []uint64   // replacement-policy state, parallel to tags
+	policy  Policy
+	tick    uint64
+	stats   Stats
+	onEv    EvictionObserver
 
 	// isLRU devirtualizes the by-far-most-common policy on the touch and
 	// victim hot paths (identical results, no interface call).
@@ -51,14 +62,22 @@ func NewSetAssoc(geom Geometry, policy Policy) *SetAssoc {
 	}
 	sets := geom.Sets()
 	_, isLRU := policy.(LRU)
+	n := sets * geom.Ways
+	tags := make([]mem.Line, n)
+	for i := range tags {
+		tags[i] = invalidTag
+	}
 	return &SetAssoc{
-		geom:   geom,
-		sets:   sets,
-		ways:   geom.Ways,
-		lines:  make([]line, sets*geom.Ways),
-		stamps: make([]uint64, sets*geom.Ways),
-		policy: policy,
-		isLRU:  isLRU,
+		geom:    geom,
+		sets:    sets,
+		ways:    geom.Ways,
+		tags:    tags,
+		meta:    make([]uint8, n),
+		owners:  make([]int, n),
+		offsets: make([]int8, n),
+		stamps:  make([]uint64, n),
+		policy:  policy,
+		isLRU:   isLRU,
 	}
 }
 
@@ -66,7 +85,7 @@ func NewSetAssoc(geom Geometry, policy Policy) *SetAssoc {
 func (c *SetAssoc) Geometry() Geometry { return c.geom }
 
 // NumLines returns the total line capacity.
-func (c *SetAssoc) NumLines() int { return len(c.lines) }
+func (c *SetAssoc) NumLines() int { return len(c.tags) }
 
 // Sets returns the number of sets.
 func (c *SetAssoc) Sets() int { return c.sets }
@@ -83,45 +102,66 @@ func (c *SetAssoc) SetEvictionObserver(fn EvictionObserver) { c.onEv = fn }
 // SetIndex returns the set index the line maps to.
 func (c *SetAssoc) SetIndex(l mem.Line) int { return int(uint64(l) & uint64(c.sets-1)) }
 
-// base returns the index of set idx's first way in the lines/stamps arrays.
+// base returns the index of set idx's first way in the parallel arrays.
 func (c *SetAssoc) base(idx int) int { return idx * c.ways }
 
-func (c *SetAssoc) set(idx int) []line { return c.lines[idx*c.ways : (idx+1)*c.ways] }
-
-// find returns the way holding line l in set s, or -1. The tag compares
-// first: on the hot path most ways mismatch, and the tag test alone rejects
-// them without loading the valid flag.
-func (c *SetAssoc) find(s []line, l mem.Line) int {
-	for w := range s {
-		if s[w].tag == l && s[w].valid {
+// find returns the way holding line l in the set starting at base, or -1.
+// Only the tags array is consulted: empty ways hold invalidTag, which no
+// reachable line number can equal.
+func (c *SetAssoc) find(base int, l mem.Line) int {
+	tags := c.tags[base : base+c.ways]
+	for w := range tags {
+		if tags[w] == l {
 			return w
 		}
 	}
 	return -1
 }
 
-// Lookup implements Cache.
-func (c *SetAssoc) Lookup(l mem.Line, write bool) bool {
-	base := c.base(c.SetIndex(l))
-	s := c.lines[base : base+c.ways]
-	w := c.find(s, l)
+// TryHit performs Lookup's hit path iff line l is present: replacement
+// state, reference/dirty bits and the hit counter update exactly as Lookup's
+// hit path does, and TryHit returns true. On a miss it changes nothing — not
+// even the miss counter — and returns false, so batch replay loops can probe
+// the common all-hits case first and fall back to the full per-access path
+// (which re-runs the lookup and does the miss accounting) only when needed.
+// Lookup itself is TryHit plus the miss accounting, keeping the two paths
+// identical by construction.
+func (c *SetAssoc) TryHit(l mem.Line, write bool) bool {
+	base := int(uint64(l)&uint64(c.sets-1)) * c.ways
+	tags := c.tags[base : base+c.ways]
+	w := -1
+	for i := range tags {
+		if tags[i] == l {
+			w = i
+			break
+		}
+	}
 	if w < 0 {
-		c.stats.Misses++
 		return false
 	}
 	c.stats.Hits++
 	c.tick++
-	s[w].referenced = true
+	m := c.meta[base+w] | metaReferenced
 	if write {
-		s[w].dirty = true
+		m |= metaDirty
 	}
+	c.meta[base+w] = m
 	c.touch(base, w, false)
 	return true
 }
 
+// Lookup implements Cache.
+func (c *SetAssoc) Lookup(l mem.Line, write bool) bool {
+	if c.TryHit(l, write) {
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
 // Probe implements Cache.
 func (c *SetAssoc) Probe(l mem.Line) bool {
-	return c.find(c.set(c.SetIndex(l)), l) >= 0
+	return c.find(c.base(c.SetIndex(l)), l) >= 0
 }
 
 // touch updates the replacement stamps of the set starting at base after an
@@ -152,14 +192,15 @@ func (c *SetAssoc) victim(base int) int {
 // Fill implements Cache.
 func (c *SetAssoc) Fill(l mem.Line, opts FillOpts) Victim {
 	base := c.base(c.SetIndex(l))
-	s := c.lines[base : base+c.ways]
 	c.tick++
-	if w := c.find(s, l); w >= 0 {
+	if w := c.find(base, l); w >= 0 {
 		// Refreshing an already-present line: update metadata only.
-		s[w].dirty = s[w].dirty || opts.Dirty
+		if opts.Dirty {
+			c.meta[base+w] |= metaDirty
+		}
 		if opts.Lock {
-			s[w].locked = true
-			s[w].owner = opts.Owner
+			c.meta[base+w] |= metaLocked
+			c.owners[base+w] = opts.Owner
 		}
 		c.touch(base, w, true)
 		return Victim{}
@@ -167,8 +208,8 @@ func (c *SetAssoc) Fill(l mem.Line, opts FillOpts) Victim {
 	c.stats.Fills++
 	// Prefer an invalid way.
 	w := -1
-	for i := range s {
-		if !s[i].valid {
+	for i := 0; i < c.ways; i++ {
+		if c.tags[base+i] == invalidTag {
 			w = i
 			break
 		}
@@ -176,30 +217,35 @@ func (c *SetAssoc) Fill(l mem.Line, opts FillOpts) Victim {
 	var v Victim
 	if w < 0 {
 		w = c.victim(base)
-		v = c.evict(s, w)
+		v = c.evict(base, w)
 	}
-	s[w] = line{
-		tag:    l,
-		valid:  true,
-		dirty:  opts.Dirty,
-		locked: opts.Lock,
-		owner:  opts.Owner,
-		offset: opts.Offset,
+	i := base + w
+	c.tags[i] = l
+	m := uint8(0)
+	if opts.Dirty {
+		m |= metaDirty
 	}
-	c.stamps[base+w] = 0
+	if opts.Lock {
+		m |= metaLocked
+	}
+	c.meta[i] = m
+	c.owners[i] = opts.Owner
+	c.offsets[i] = opts.Offset
+	c.stamps[i] = 0
 	c.touch(base, w, true)
 	return v
 }
 
-// evict clears way w of set s and returns its victim record, after
-// notifying the eviction observer and bumping counters.
-func (c *SetAssoc) evict(s []line, w int) Victim {
+// evict clears way w of the set starting at base and returns its victim
+// record, after notifying the eviction observer and bumping counters.
+func (c *SetAssoc) evict(base, w int) Victim {
+	i := base + w
 	v := Victim{
 		Valid:      true,
-		Line:       s[w].tag,
-		Dirty:      s[w].dirty,
-		Referenced: s[w].referenced,
-		Offset:     s[w].offset,
+		Line:       c.tags[i],
+		Dirty:      c.meta[i]&metaDirty != 0,
+		Referenced: c.meta[i]&metaReferenced != 0,
+		Offset:     c.offsets[i],
 	}
 	c.stats.Evictions++
 	if v.Dirty {
@@ -208,29 +254,28 @@ func (c *SetAssoc) evict(s []line, w int) Victim {
 	if c.onEv != nil {
 		c.onEv(v)
 	}
-	s[w].valid = false
+	c.tags[i] = invalidTag
 	return v
 }
 
 // Invalidate implements Cache.
 func (c *SetAssoc) Invalidate(l mem.Line) bool {
-	s := c.set(c.SetIndex(l))
-	w := c.find(s, l)
+	base := c.base(c.SetIndex(l))
+	w := c.find(base, l)
 	if w < 0 {
 		return false
 	}
 	c.stats.Invalidates++
-	c.evict(s, w)
+	c.evict(base, w)
 	return true
 }
 
 // Flush implements Cache.
 func (c *SetAssoc) Flush() {
-	for i := range c.lines {
-		if c.lines[i].valid {
+	for i := range c.tags {
+		if c.tags[i] != invalidTag {
 			c.stats.Invalidates++
-			set := c.lines[i/c.ways*c.ways : i/c.ways*c.ways+c.ways]
-			c.evict(set, i%c.ways)
+			c.evict(i/c.ways*c.ways, i%c.ways)
 		}
 	}
 }
@@ -240,8 +285,8 @@ func (c *SetAssoc) Flush() {
 // it as ground truth for the victim footprint an attacker estimates.
 func (c *SetAssoc) Occupancy() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
+	for i := range c.tags {
+		if c.tags[i] != invalidTag {
 			n++
 		}
 	}
@@ -252,9 +297,9 @@ func (c *SetAssoc) Occupancy() int {
 // end-of-run profiler accounting.
 func (c *SetAssoc) Contents() []mem.Line {
 	var out []mem.Line
-	for i := range c.lines {
-		if c.lines[i].valid {
-			out = append(out, c.lines[i].tag)
+	for i := range c.tags {
+		if c.tags[i] != invalidTag {
+			out = append(out, c.tags[i])
 		}
 	}
 	return out
@@ -267,14 +312,14 @@ func (c *SetAssoc) DrainValid() {
 	if c.onEv == nil {
 		return
 	}
-	for i := range c.lines {
-		if c.lines[i].valid {
+	for i := range c.tags {
+		if c.tags[i] != invalidTag {
 			c.onEv(Victim{
 				Valid:      true,
-				Line:       c.lines[i].tag,
-				Dirty:      c.lines[i].dirty,
-				Referenced: c.lines[i].referenced,
-				Offset:     c.lines[i].offset,
+				Line:       c.tags[i],
+				Dirty:      c.meta[i]&metaDirty != 0,
+				Referenced: c.meta[i]&metaReferenced != 0,
+				Offset:     c.offsets[i],
 			})
 		}
 	}
@@ -282,16 +327,16 @@ func (c *SetAssoc) DrainValid() {
 
 // IsLocked reports whether line l is present and locked.
 func (c *SetAssoc) IsLocked(l mem.Line) bool {
-	s := c.set(c.SetIndex(l))
-	w := c.find(s, l)
-	return w >= 0 && s[w].locked
+	base := c.base(c.SetIndex(l))
+	w := c.find(base, l)
+	return w >= 0 && c.meta[base+w]&metaLocked != 0
 }
 
 // Owner returns the owner id of line l, or NoOwner if absent or unowned.
 func (c *SetAssoc) Owner(l mem.Line) int {
-	s := c.set(c.SetIndex(l))
-	if w := c.find(s, l); w >= 0 {
-		return s[w].owner
+	base := c.base(c.SetIndex(l))
+	if w := c.find(base, l); w >= 0 {
+		return c.owners[base+w]
 	}
 	return NoOwner
 }

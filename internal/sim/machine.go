@@ -8,6 +8,7 @@ import (
 	"randfill/internal/plcache"
 	"randfill/internal/prefetch"
 	"randfill/internal/rng"
+	"randfill/internal/trace"
 )
 
 // Machine is one simulated core (possibly SMT) over an N-level cache
@@ -26,6 +27,11 @@ type Machine struct {
 	// Prefetcher, if set, observes L1 demand traffic and injects
 	// prefetch fills (Section VII's tagged-prefetcher comparison).
 	Prefetcher prefetch.Prefetcher
+
+	// ctScratch is the machine's reusable trace-compilation buffer, so
+	// repeated RunTrace calls (Table III sweeps replay the same few traces
+	// against many configurations) recompile without allocating.
+	ctScratch trace.Compiled
 }
 
 // New builds a machine from cfg (zero fields take Table IV defaults).
@@ -121,11 +127,13 @@ func (m *Machine) NewThread(tc ThreadConfig) *Thread {
 
 // RunTrace is the single-thread convenience: create a demand-fetch or
 // configured thread, run the trace to completion, and return its result.
-func (m *Machine) RunTrace(tc ThreadConfig, trace mem.Trace) Result {
+// The trace is compiled once and replayed batched; every RunTrace golden in
+// the test suite therefore doubles as an identity pin of batched vs.
+// per-access replay (ReplayBatch documents why the two are the same
+// computation).
+func (m *Machine) RunTrace(tc ThreadConfig, tr mem.Trace) Result {
 	t := m.NewThread(tc)
-	for i := range trace {
-		t.Step(trace[i])
-	}
+	t.ReplayBatch(trace.CompileInto(&m.ctScratch, tr))
 	t.Drain()
 	return t.Result()
 }
@@ -133,11 +141,12 @@ func (m *Machine) RunTrace(tc ThreadConfig, trace mem.Trace) Result {
 // RunTraceSteady measures steady-state behaviour: the trace runs once to
 // warm the caches, then runs again; the returned result covers only the
 // measured second pass.
-func (m *Machine) RunTraceSteady(tc ThreadConfig, trace mem.Trace) Result {
+func (m *Machine) RunTraceSteady(tc ThreadConfig, tr mem.Trace) Result {
 	t := m.NewThread(tc)
-	t.Run(trace)
+	ct := trace.CompileInto(&m.ctScratch, tr)
+	t.RunCompiled(ct)
 	warm := t.Result()
-	t.Run(trace)
+	t.RunCompiled(ct)
 	return t.Result().Sub(warm)
 }
 

@@ -5,6 +5,7 @@ import (
 	"randfill/internal/core"
 	"randfill/internal/mem"
 	"randfill/internal/rng"
+	"randfill/internal/trace"
 )
 
 func coreEngine(c cache.Cache, src *rng.Source) *core.Engine {
@@ -308,7 +309,10 @@ func (t *Thread) serviceFills() {
 // requests travelling through the same fill queue.
 const prefetchRequest core.RequestType = 255
 
-// Step executes one trace access and advances the thread's clock.
+// Step executes one trace access and advances the thread's clock. It is the
+// prologue (context switch, instruction accounting, retirement, dependence
+// stall) plus the access itself; ReplayBatch inlines an identical prologue
+// over precompiled words and shares access, so the two paths cannot drift.
 func (t *Thread) Step(a mem.Access) {
 	if t.domainL1 != nil {
 		t.domainL1.SetActiveDomain(t.cfg.Owner)
@@ -322,10 +326,13 @@ func (t *Thread) Step(a mem.Access) {
 		t.waitData()
 	}
 
-	line := a.Line()
-	write := a.Kind == mem.Write
+	t.access(a.Line(), a.Kind == mem.Write, a.Secret)
+}
 
-	if t.cfg.Mode == ModeDisableSecret && a.Secret {
+// access performs one demand access against the L1: the mode dispatch, the
+// lookup, and the full miss path. It is Step without the prologue.
+func (t *Thread) access(line mem.Line, write, secret bool) {
+	if t.cfg.Mode == ModeDisableSecret && secret {
 		// Security-critical access with the cache disabled: straight
 		// to the L2, no L1 lookup or fill. The request still needs a
 		// miss-queue entry (it is a demand fetch).
@@ -345,7 +352,7 @@ func (t *Thread) Step(a mem.Access) {
 		return
 	}
 
-	informing := t.cfg.Mode == ModeInforming && a.Secret
+	informing := t.cfg.Mode == ModeInforming && secret
 
 	if t.engine.Cache().Lookup(line, write) {
 		t.res.Hits++
@@ -431,6 +438,88 @@ func (t *Thread) Run(trace mem.Trace) Result {
 	for i := range trace {
 		t.Step(trace[i])
 	}
+	t.Drain()
+	return t.Result()
+}
+
+// ReplayBatch executes a precompiled trace. It is observably identical to
+// stepping the trace one access at a time — same counters, same cycle
+// arithmetic (the per-access float operations are performed in the same
+// order with the same operands), and exactly the same RNG draws, because the
+// miss path is the shared access method and the random fill engine is only
+// ever consulted there. What changes is the cost of the common case: the
+// loop streams 8-byte packed words instead of 24-byte mem.Access records,
+// probes a devirtualized L1 fast path (cache.SetAssoc.TryHit) before
+// committing to the full access dispatch, and skips the retirement and
+// fill-queue scans whenever their queues are provably empty (both scans
+// no-op on empty queues, so skipping the calls is identity).
+//
+// Threads whose configuration the fast loop does not model — a domain-aware
+// or non-SetAssoc L1 (PLcache, RPcache, scattercache, ...), or an attached
+// prefetcher observing L1 hits — replay through the scalar Step path
+// unchanged.
+func (t *Thread) ReplayBatch(ct *trace.Compiled) {
+	sa, _ := t.engine.Cache().(*cache.SetAssoc)
+	if sa == nil || t.domainL1 != nil || t.machine.Prefetcher != nil {
+		for i := 0; i < ct.Len(); i++ {
+			t.Step(ct.At(i))
+		}
+		return
+	}
+	words := ct.Words()
+	issueWidth := float64(t.machine.cfg.IssueWidth)
+	hitLat := float64(t.machine.cfg.L1HitLat)
+	bypassSecret := t.cfg.Mode == ModeDisableSecret
+	for i, w := range words {
+		if trace.IsEscape(w) {
+			// Out-of-range record (never produced by this repo's trace
+			// generators): replay it verbatim through the scalar path.
+			t.Step(ct.At(i))
+			continue
+		}
+		instr := trace.Instructions(w)
+		t.res.Instructions += instr
+		t.cycle += float64(instr) / issueWidth
+		if t.inflight != 0 {
+			t.retire(t.cycle)
+		}
+		if trace.Dependent(w) {
+			if t.dataReady > t.cycle {
+				t.res.StallCycles += t.dataReady - t.cycle
+				t.cycle = t.dataReady
+			}
+			if t.inflight != 0 {
+				t.retire(t.cycle)
+			}
+		}
+		line := trace.Line(w)
+		write := trace.Write(w)
+		secret := trace.Secret(w)
+		if secret && bypassSecret {
+			t.access(line, write, true)
+			continue
+		}
+		if sa.TryHit(line, write) {
+			t.res.Hits++
+			if !write {
+				t.dataReady = t.cycle + hitLat
+			}
+			if t.fillPending() != 0 {
+				t.serviceFills()
+			}
+			continue
+		}
+		// Miss (or merged miss): the full access path re-runs the lookup —
+		// TryHit mutated nothing, so the re-probe misses again and Lookup
+		// adds exactly the one miss count the scalar path would.
+		t.access(line, write, secret)
+	}
+}
+
+// RunCompiled executes an entire precompiled trace and returns the thread's
+// result, like Run over the equivalent mem.Trace.
+func (t *Thread) RunCompiled(ct *trace.Compiled) Result {
+	t.ReplayBatch(ct)
 	t.Drain()
 	return t.Result()
 }

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"randfill/internal/parexp"
+	"randfill/internal/trace"
+)
+
+// ReplayWindows replays a compiled trace as `windows` independent windows
+// across a parexp worker pool and returns the per-window results in window
+// order. It is the batch-replay form of the repository's fixed-shard
+// invariance contract (see internal/parexp):
+//
+//   - The window plan is fixed by (trace length, windows) — Compiled.Windows
+//     mirrors parexp.SplitCounts — never by the worker count.
+//   - Each window replays on its own freshly built Machine seeded from
+//     parexp.ShardSeeds(cfg.Seed, windows)[i], so no RNG stream, cache
+//     state, or counter is shared between windows; the compiled trace is
+//     shared read-only.
+//   - Results come back in window-index order, so any fold over them (see
+//     MergeResults) accumulates floats in a fixed order.
+//
+// Worker count is therefore a pure speed knob: for a fixed cfg and trace,
+// the returned slice is byte-identical at workers = 1, 2, 8, or GOMAXPROCS
+// (TestBatchReplayWorkerInvariance pins this). Each window starts cold —
+// windowed replay is a sampling strategy over trace segments (every window
+// pays its own warm-up), not a bit-exact decomposition of one sequential
+// replay, which is inherently order-dependent state.
+func ReplayWindows(cfg Config, tc ThreadConfig, ct *trace.Compiled, windows, workers int) []Result {
+	wins := ct.Windows(windows)
+	seeds := parexp.ShardSeeds(cfg.Seed, len(wins))
+	eng := parexp.New(workers)
+	return parexp.Map(eng, len(wins), func(i int) Result {
+		c := cfg
+		c.Seed = seeds[i]
+		t := New(c).NewThread(tc)
+		t.ReplayBatch(&wins[i])
+		t.Drain()
+		return t.Result()
+	})
+}
+
+// MergeResults folds per-window results left-to-right into one aggregate:
+// counters and cycle totals sum in window-index order (fixed float
+// accumulation, per the parexp merge rule). Cycles and StallCycles are the
+// summed per-window totals — total simulated work, not wall-clock overlap.
+func MergeResults(rs []Result) Result {
+	var out Result
+	for _, r := range rs {
+		out.Cycles += r.Cycles
+		out.Instructions += r.Instructions
+		out.Hits += r.Hits
+		out.Misses += r.Misses
+		out.Merged += r.Merged
+		out.SecretBypass += r.SecretBypass
+		out.RandomFills += r.RandomFills
+		out.Prefetches += r.Prefetches
+		out.StallCycles += r.StallCycles
+		out.InformingTraps += r.InformingTraps
+	}
+	return out
+}

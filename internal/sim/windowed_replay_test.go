@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"randfill/internal/cache"
+	"randfill/internal/parexp"
+	"randfill/internal/rng"
+	"randfill/internal/trace"
+)
+
+// TestBatchReplayWorkerInvariance is the windowed-replay acceptance check by
+// name, mirroring the parexp metamorphic suite: for a fixed seed and window
+// plan, the per-window results and their index-ordered merge are
+// byte-identical at workers 1, 2 and 8, and a repeated run reproduces the
+// exact bytes.
+func TestBatchReplayWorkerInvariance(t *testing.T) {
+	tr, _ := replayPinTrace()
+	ct := trace.Compile(tr)
+
+	cfg := DefaultConfig()
+	cfg.L1 = cache.Geometry{SizeBytes: 1024, Ways: 2}
+	cfg.Seed = 21
+	tc := ThreadConfig{Mode: ModeRandomFill, Window: rng.Window{A: 8, B: 7}}
+
+	render := func(workers int) string {
+		rs := ReplayWindows(cfg, tc, ct, parexp.Shards, workers)
+		s := ""
+		for i, r := range rs {
+			s += fmt.Sprintf("w%d %+v\n", i, r)
+		}
+		return s + fmt.Sprintf("merged %+v\n", MergeResults(rs))
+	}
+
+	want := render(1)
+	for _, w := range []int{2, 8} {
+		if got := render(w); got != want {
+			t.Fatalf("workers=%d changed the windowed replay output\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+				w, want, w, got)
+		}
+	}
+	if got := render(8); got != want {
+		t.Fatalf("repeated run at workers=8 changed the output")
+	}
+}
+
+// TestReplayWindowsPlanIsFixed pins the window plan itself: windows, not
+// workers, decide which accesses replay under which shard seed, so changing
+// the worker count must not change the plan while changing the window count
+// must.
+func TestReplayWindowsPlanIsFixed(t *testing.T) {
+	tr, _ := replayPinTrace()
+	ct := trace.Compile(tr)
+	cfg := DefaultConfig()
+	cfg.Seed = 4
+	tc := ThreadConfig{}
+
+	a := ReplayWindows(cfg, tc, ct, 4, 1)
+	b := ReplayWindows(cfg, tc, ct, 8, 1)
+	if fmt.Sprintf("%+v", a) == fmt.Sprintf("%+v", b) {
+		t.Fatal("4-window and 8-window plans produced identical results; the plan is not part of the replay definition")
+	}
+	var an, bn uint64
+	for _, r := range a {
+		an += r.Instructions
+	}
+	for _, r := range b {
+		bn += r.Instructions
+	}
+	if an != bn {
+		t.Fatalf("window plans cover different instruction totals: %d vs %d", an, bn)
+	}
+}

@@ -218,6 +218,47 @@ func TestCrashResumeOccupancyMatrix(t *testing.T) {
 	}
 }
 
+// TestCrashResumePolicyMatrix: the policy x design sweep honors the same
+// contract over its 42 per-cell checkpoints — kill a run after 10, then
+// resume at every worker count to the uninterrupted run's exact bytes.
+func TestCrashResumePolicyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill-and-resume runs")
+	}
+	clean := runBin(t, "-run", "PolicyMatrix", "-scale", "quick", "-workers", "1")
+	if clean.code != 0 {
+		t.Fatalf("clean run exited %d:\n%s", clean.code, clean.stderr)
+	}
+
+	crashDir := t.TempDir()
+	saveArtifacts(t, crashDir)
+	killed := runBin(t, "-run", "PolicyMatrix", "-scale", "quick",
+		"-checkpoint-dir", crashDir, "-fault-plan", "kill-after-puts=10")
+	if killed.code != faultinject.KillExitCode {
+		t.Fatalf("killed run exited %d, want %d:\n%s", killed.code, faultinject.KillExitCode, killed.stderr)
+	}
+	if n := len(ckpts(t, crashDir)); n != 10 {
+		t.Fatalf("killed run left %d checkpoints, want 10", n)
+	}
+
+	for _, workers := range []string{"1", "2", "8"} {
+		dir := copyDir(t, crashDir)
+		saveArtifacts(t, dir)
+		resumed := runBin(t, "-run", "PolicyMatrix", "-scale", "quick",
+			"-checkpoint-dir", dir, "-resume", "-workers", workers)
+		if resumed.code != 0 {
+			t.Fatalf("workers=%s: resume exited %d:\n%s", workers, resumed.code, resumed.stderr)
+		}
+		if resumed.stdout != clean.stdout {
+			t.Errorf("workers=%s: resumed stdout differs from uninterrupted run\n--- resumed ---\n%s--- clean ---\n%s",
+				workers, resumed.stdout, clean.stdout)
+		}
+		if n := len(ckpts(t, dir)); n != 42 {
+			t.Errorf("workers=%s: resumed run holds %d checkpoints, want all 42 (one per cell)", workers, n)
+		}
+	}
+}
+
 // TestCrashResumeTornCheckpoint: a checkpoint torn by the crash (or injected
 // torn mid-write) is detected by the CRC frame, silently re-run, and the
 // resumed output still matches the clean run byte for byte.

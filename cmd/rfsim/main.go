@@ -37,6 +37,7 @@ func main() {
 	ways := flag.Int("ways", 4, "L1 associativity")
 	l1kind := flag.String("l1kind", "sa", "L1 architecture: sa, newcache, plcache, rpcache, nomo, scattercache, mirage")
 	design := flag.String("design", "", "secure-cache design from the registry: "+strings.Join(securecache.Names(), ", "))
+	policy := flag.String("policy", "", "L1 replacement policy override ("+strings.Join(cache.PolicyNames(), ", ")+"; default: the architecture's own)")
 	window := flag.String("window", "0,0", "random fill window as 'a,b' meaning [i-a, i+b]")
 	l2window := flag.String("l2window", "0,0", "random fill window at the L2 ('a,b'; 0,0 = demand fill)")
 	l3size := flag.Int("l3", 0, "add an L3 of this size in bytes (0 = two-level hierarchy)")
@@ -86,6 +87,10 @@ func main() {
 			cfg.L1Kind = sim.CacheKind(d.Name)
 		}
 	}
+	if !cache.KnownPolicy(*policy) {
+		fatal(fmt.Errorf("unknown policy %q (have: %s)", *policy, strings.Join(cache.PolicyNames(), ", ")))
+	}
+	cfg.L1Policy = *policy
 	cfg.MissQueue = *mshrs
 	cfg.Seed = *seed
 	cfg.L2Window = w2

@@ -31,11 +31,17 @@ func (simlayer) Doc() string {
 var simlayerConstructors = []struct{ pkgSuffix, fn string }{
 	{"internal/cache", "NewSetAssoc"},
 	{"internal/newcache", "New"},
+	{"internal/newcache", "NewWithPolicy"},
 	{"internal/plcache", "New"},
+	{"internal/plcache", "NewWithPolicy"},
 	{"internal/rpcache", "New"},
+	{"internal/rpcache", "NewWithPolicy"},
 	{"internal/nomo", "New"},
+	{"internal/nomo", "NewWithPolicy"},
 	{"internal/scattercache", "New"},
+	{"internal/scattercache", "NewWithPolicy"},
 	{"internal/mirage", "New"},
+	{"internal/mirage", "NewWithPolicy"},
 }
 
 func (simlayer) Run(pass *analysis.Pass) error {

@@ -29,9 +29,11 @@ func buildRandfill(geom cache.Geometry) cache.Cache {
 // inline — an inline construction bypasses the registry's seed-split
 // discipline and cannot be retargeted by design name.
 func newAdHocDesign(geom cache.Geometry, src *rng.Source) cache.Cache {
-	c := scattercache.New(geom, src) // want "outside a level builder"
-	_ = mirage.New(geom, src)        // want "outside a level builder"
-	_ = cache.NewSetAssoc(geom, nil) // want "outside a level builder"
+	c := scattercache.New(geom, src)                   // want "outside a level builder"
+	_ = mirage.New(geom, src)                          // want "outside a level builder"
+	_ = cache.NewSetAssoc(geom, nil)                   // want "outside a level builder"
+	_ = scattercache.NewWithPolicy(geom, src, nil)     // want "outside a level builder"
+	_ = mirage.NewWithPolicy(geom, src, cache.SRRIP{}) // want "outside a level builder"
 	return c
 }
 

@@ -31,6 +31,18 @@ func buildSecureStack(geom cache.Geometry, src *rng.Source) []cache.Cache {
 	}
 }
 
+// Policy-parameterized construction is equally builder-only.
+func buildPolicyStack(geom cache.Geometry, src *rng.Source, pol cache.Policy) []cache.Cache {
+	return []cache.Cache{
+		newcache.NewWithPolicy(geom.SizeBytes, 4, src, pol),
+		plcache.NewWithPolicy(geom, pol),
+		rpcache.NewWithPolicy(geom, src, pol),
+		nomo.NewWithPolicy(geom, 2, 1, pol),
+		scattercache.NewWithPolicy(geom, src, pol),
+		mirage.NewWithPolicy(geom, src, pol),
+	}
+}
+
 // Wiring code must go through the builders instead.
 func wireMachine(geom cache.Geometry, src *rng.Source) cache.Cache {
 	l2 := cache.NewSetAssoc(geom, cache.LRU{}) // want "outside a level builder"
@@ -41,6 +53,18 @@ func wireMachine(geom cache.Geometry, src *rng.Source) cache.Cache {
 	_ = scattercache.New(geom, src)            // want "outside a level builder"
 	_ = mirage.New(geom, src)                  // want "outside a level builder"
 	return l2
+}
+
+// The NewWithPolicy constructors are constructors like any other: wiring
+// code may not call them inline either.
+func wirePolicyMachine(geom cache.Geometry, src *rng.Source, pol cache.Policy) cache.Cache {
+	l1 := newcache.NewWithPolicy(geom.SizeBytes, 4, src, pol) // want "outside a level builder"
+	_ = plcache.NewWithPolicy(geom, pol)                      // want "outside a level builder"
+	_ = rpcache.NewWithPolicy(geom, src, pol)                 // want "outside a level builder"
+	_ = nomo.NewWithPolicy(geom, 2, 1, pol)                   // want "outside a level builder"
+	_ = scattercache.NewWithPolicy(geom, src, pol)            // want "outside a level builder"
+	_ = mirage.NewWithPolicy(geom, src, pol)                  // want "outside a level builder"
+	return l1
 }
 
 // Non-constructor calls into the cache packages stay legal anywhere.

@@ -2,7 +2,8 @@
 // this repository is built on: a Cache interface with line-granular lookup,
 // fill, probe, invalidate and flush operations; a parameterized
 // set-associative implementation with pluggable replacement policies (LRU,
-// random, FIFO); per-line metadata (dirty, lock, owner, fill-offset tag) used
+// FIFO, random, tree-PLRU, SRRIP, BRRIP); per-line metadata (dirty, lock,
+// owner, fill-offset tag) used
 // by PLcache and by the spatial-locality profiler; and statistics counters.
 //
 // A deliberate property of the model is that Lookup never fills: the fill
@@ -132,6 +133,13 @@ func (g Geometry) Sets() int {
 	lines := g.SizeBytes / mem.LineSize
 	return lines / g.Ways
 }
+
+// ValidateGeometry checks g the way NewSetAssoc does — size a positive
+// line multiple, lines divisible into ways, power-of-two set count — and
+// panics with the same diagnostics on violation. Design packages that
+// manage their own line arrays (PLcache, RPcache, NoMo) call it instead of
+// constructing a throwaway SetAssoc just to trigger the checks.
+func ValidateGeometry(g Geometry) { g.check() }
 
 func (g Geometry) check() {
 	lines := g.SizeBytes / mem.LineSize

@@ -317,6 +317,9 @@ func TestLookupAllocFree(t *testing.T) {
 		{"lru", LRU{}},
 		{"fifo", FIFO{}},
 		{"random", Random{Src: rng.New(3)}},
+		{"plru", PLRU{}},
+		{"srrip", SRRIP{}},
+		{"brrip", BRRIP{Src: rng.New(4)}},
 	} {
 		c := NewSetAssoc(Geometry{SizeBytes: 4096, Ways: 4}, tc.policy)
 		var l mem.Line

@@ -60,6 +60,9 @@ func NewSetAssoc(geom Geometry, policy Policy) *SetAssoc {
 	if policy == nil {
 		policy = LRU{}
 	}
+	if err := PolicyValid(policy); err != nil {
+		panic(err)
+	}
 	sets := geom.Sets()
 	_, isLRU := policy.(LRU)
 	n := sets * geom.Ways
@@ -165,13 +168,19 @@ func (c *SetAssoc) Probe(l mem.Line) bool {
 }
 
 // touch updates the replacement stamps of the set starting at base after an
-// access to way w. The policy operates on the stamps array directly.
+// access to way w. The policy operates on the stamps array directly; hits
+// and fills are distinct policy events (RRIP inserts distant but promotes
+// on hit, FIFO stamps only fills).
 func (c *SetAssoc) touch(base, w int, fill bool) {
 	if c.isLRU {
 		c.stamps[base+w] = c.tick
 		return
 	}
-	c.policy.Touch(c.stamps[base:base+c.ways], w, c.tick, fill)
+	if fill {
+		c.policy.OnFill(c.stamps[base:base+c.ways], w, c.tick)
+	} else {
+		c.policy.OnHit(c.stamps[base:base+c.ways], w, c.tick)
+	}
 }
 
 // victim selects the way to evict from the full set starting at base.
@@ -231,7 +240,9 @@ func (c *SetAssoc) Fill(l mem.Line, opts FillOpts) Victim {
 	c.meta[i] = m
 	c.owners[i] = opts.Owner
 	c.offsets[i] = opts.Offset
-	c.stamps[i] = 0
+	// The way's stamp word is deliberately NOT cleared here: the fill event
+	// below rewrites whatever the policy needs, and for PLRU the per-set
+	// stamp words hold shared tree bits that must survive installs.
 	c.touch(base, w, true)
 	return v
 }

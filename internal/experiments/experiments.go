@@ -154,8 +154,9 @@ func QuickScale() Scale {
 // Experiment is a registry entry. Run honors cooperative cancellation: a
 // cancelled or expired ctx stops the experiment between work units and
 // surfaces ctx's error. The resumable experiments (Figure2, Table3,
-// MissQueueSecurity, OccupancyMatrix — the long-running attack searches and
-// sweeps) additionally honor Scale.Checkpoint and Scale.Resume; the rest
+// MissQueueSecurity, OccupancyMatrix, PolicyMatrix — the long-running attack
+// searches and sweeps) additionally honor Scale.Checkpoint and Scale.Resume;
+// the rest
 // check ctx at unit boundaries only and never touch the checkpoint store.
 type Experiment struct {
 	Name string
@@ -202,6 +203,7 @@ func All() []Experiment {
 		{"Equation4", "analytical timing-channel model vs simulator (Eq. 4)", plain(Equation4)},
 		{"MissQueueSecurity", "miss queue size vs collision attack cost (Section V.A)", MissQueueSecurityCtx},
 		{"OccupancyMatrix", "security x performance matrix: reuse and occupancy channels per secure cache design", OccupancyMatrixCtx},
+		{"PolicyMatrix", "replacement policy x design sweep: reuse/occupancy channels and AES IPC/MPKI per pair", PolicyMatrixCtx},
 	}
 }
 

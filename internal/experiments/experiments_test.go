@@ -45,7 +45,7 @@ func TestRegistry(t *testing.T) {
 		"AblationDropOnHit", "AblationL2RandomFill", "Hierarchy3",
 		"ConstantTime",
 		"InformingDoS", "AdaptiveWindow", "Equation4", "MissQueueSecurity",
-		"OccupancyMatrix"}
+		"OccupancyMatrix", "PolicyMatrix"}
 	if len(All()) != len(names) {
 		t.Fatalf("registry has %d experiments, want %d", len(All()), len(names))
 	}

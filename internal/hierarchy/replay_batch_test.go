@@ -68,6 +68,24 @@ func TestReplayBatchMatchesAccess(t *testing.T) {
 				NewLevel(cache.NewSetAssoc(cache.Geometry{SizeBytes: 1024, Ways: 2}, cache.FIFO{}), 1),
 				NewLevel(cache.NewSetAssoc(cache.Geometry{SizeBytes: 16 * 1024, Ways: 4}, cache.LRU{}), 20),
 			)
+		case "l0-plru", "l0-srrip", "l0-brrip", "l0-random":
+			// Stateful / RNG-backed policies on the devirtualized level-0
+			// fast path: victim selection may mutate per-set state (PLRU
+			// tree bits, RRIP aging) and consume draws (BRRIP, random), so
+			// batch and scalar replay must agree on every counter AND every
+			// subsequent draw the policy makes.
+			var psrc *rng.Source
+			if cache.PolicyNeedsRNG(name[3:]) {
+				psrc = rng.New(seed + 100)
+			}
+			pol, err := cache.PolicyByName(name[3:], psrc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return New(100,
+				NewLevel(cache.NewSetAssoc(cache.Geometry{SizeBytes: 1024, Ways: 2}, pol), 1),
+				NewLevel(cache.NewSetAssoc(cache.Geometry{SizeBytes: 16 * 1024, Ways: 4}, cache.LRU{}), 20),
+			)
 		default: // demand two-level
 			return New(100,
 				NewLevel(l0c, 1),
@@ -76,7 +94,8 @@ func TestReplayBatchMatchesAccess(t *testing.T) {
 		}
 	}
 
-	for _, name := range []string{"demand", "l0-engine", "l0-prefetch", "l0-fifo-fallback"} {
+	for _, name := range []string{"demand", "l0-engine", "l0-prefetch", "l0-fifo-fallback",
+		"l0-plru", "l0-srrip", "l0-brrip", "l0-random"} {
 		t.Run(name, func(t *testing.T) {
 			scalar := build(name, 5)
 			var hits, lat uint64

@@ -39,10 +39,18 @@ type Mirage struct {
 	index map[mem.Line]int32
 	// free lists the invalid slots; placement draws uniformly from it
 	// with swap-remove, so free-slot choice is address-independent too.
-	free  []int32
-	src   *rng.Source
-	stats cache.Stats
-	onEv  cache.EvictionObserver
+	free []int32
+	// stamps is the replacement-policy state, one word per slot; the
+	// policy treats the whole store as one fully-associative set.
+	stamps []uint64
+	policy cache.Policy
+	// noState devirtualizes the uniform-random default: Random keeps no
+	// per-access state, so OnHit/OnFill dispatch is skipped entirely.
+	noState bool
+	tick    uint64
+	src     *rng.Source
+	stats   cache.Stats
+	onEv    cache.EvictionObserver
 }
 
 var _ cache.Cache = (*Mirage)(nil)
@@ -51,16 +59,37 @@ var _ cache.Cache = (*Mirage)(nil)
 // ignored: the store is fully associative), drawing all placement and
 // eviction randomness from src.
 func New(geom cache.Geometry, src *rng.Source) *Mirage {
+	return NewWithPolicy(geom, src, nil)
+}
+
+// NewWithPolicy builds a Mirage cache whose full-store eviction victim
+// follows pol over all slots (nil selects the historical global-random
+// default). Free-slot placement stays a uniform draw regardless of policy —
+// placement randomization is the design's security mechanism, the victim
+// pick is the replacement decision the Peters et al. axis varies.
+func NewWithPolicy(geom cache.Geometry, src *rng.Source, pol cache.Policy) *Mirage {
 	n := geom.SizeBytes / mem.LineSize
 	if geom.SizeBytes <= 0 || geom.SizeBytes%mem.LineSize != 0 || n < 1 {
 		panic(fmt.Sprintf("mirage: size %d not a positive multiple of line size", geom.SizeBytes))
 	}
-	c := &Mirage{
-		lines: make([]mgLine, n),
-		index: make(map[mem.Line]int32, n),
-		free:  make([]int32, n),
-		src:   src,
+	if src == nil {
+		panic("mirage: nil rng source")
 	}
+	if pol == nil {
+		pol = cache.Random{Src: src}
+	}
+	if err := cache.PolicyValid(pol); err != nil {
+		panic(err)
+	}
+	c := &Mirage{
+		lines:  make([]mgLine, n),
+		index:  make(map[mem.Line]int32, n),
+		free:   make([]int32, n),
+		stamps: make([]uint64, n),
+		policy: pol,
+		src:    src,
+	}
+	_, c.noState = pol.(cache.Random)
 	for i := range c.free {
 		c.free[i] = int32(i)
 	}
@@ -84,7 +113,11 @@ func (c *Mirage) Lookup(l mem.Line, write bool) bool {
 		return false
 	}
 	c.stats.Hits++
+	c.tick++
 	c.lines[p].referenced = true
+	if !c.noState {
+		c.policy.OnHit(c.stamps, int(p), c.tick)
+	}
 	if write {
 		c.lines[p].dirty = true
 	}
@@ -102,8 +135,12 @@ func (c *Mirage) Probe(l mem.Line) bool {
 // resident lines. The victim can therefore never be the line being
 // installed (it is not resident), and is always a valid line.
 func (c *Mirage) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
+	c.tick++
 	if p, ok := c.index[l]; ok {
 		c.lines[p].dirty = c.lines[p].dirty || opts.Dirty
+		if !c.noState {
+			c.policy.OnFill(c.stamps, int(p), c.tick)
+		}
 		return cache.Victim{}
 	}
 	c.stats.Fills++
@@ -115,7 +152,7 @@ func (c *Mirage) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 		c.free[j] = c.free[len(c.free)-1]
 		c.free = c.free[:len(c.free)-1]
 	} else {
-		p = int32(c.src.Intn(len(c.lines)))
+		p = int32(c.policy.Victim(c.stamps))
 		v = c.evict(p)
 	}
 	c.lines[p] = mgLine{
@@ -124,6 +161,9 @@ func (c *Mirage) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 		dirty:  opts.Dirty,
 		owner:  opts.Owner,
 		offset: opts.Offset,
+	}
+	if !c.noState {
+		c.policy.OnFill(c.stamps, int(p), c.tick)
 	}
 	c.index[l] = p
 	return v

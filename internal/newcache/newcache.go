@@ -57,9 +57,19 @@ type Newcache struct {
 	remaps [MaxDomains][]int32
 	active int
 	lines  []ncLine
-	src    *rng.Source
-	stats  cache.Stats
-	onEv   cache.EvictionObserver
+	// stamps is the replacement-policy state, one word per physical line;
+	// the policy treats the whole store as a single physLines-way set
+	// (the LDM store has no set structure of its own).
+	stamps []uint64
+	policy cache.Policy
+	// noState devirtualizes the uniform-random default: Random keeps no
+	// per-access state, so OnHit/OnFill dispatch is skipped entirely and
+	// the hit path stays as lean as before policy parameterization.
+	noState bool
+	tick    uint64
+	src     *rng.Source
+	stats   cache.Stats
+	onEv    cache.EvictionObserver
 }
 
 var _ cache.Cache = (*Newcache)(nil)
@@ -71,6 +81,15 @@ const DefaultExtraBits = 4
 // New builds a Newcache with sizeBytes capacity and k extra index bits,
 // drawing replacement randomness from src.
 func New(sizeBytes, extraBits int, src *rng.Source) *Newcache {
+	return NewWithPolicy(sizeBytes, extraBits, src, nil)
+}
+
+// NewWithPolicy builds a Newcache whose index-miss victim selection follows
+// pol over the whole physical store (nil selects the historical SecRAND
+// default, a uniform draw from src). Tag misses keep the logical
+// direct-mapped semantics regardless of policy — only the index-miss
+// placement is the replacement decision the Peters et al. axis varies.
+func NewWithPolicy(sizeBytes, extraBits int, src *rng.Source, pol cache.Policy) *Newcache {
 	if sizeBytes <= 0 || sizeBytes%mem.LineSize != 0 {
 		panic(fmt.Sprintf("newcache: bad size %d", sizeBytes))
 	}
@@ -84,6 +103,12 @@ func New(sizeBytes, extraBits int, src *rng.Source) *Newcache {
 	if src == nil {
 		panic("newcache: nil rng source")
 	}
+	if pol == nil {
+		pol = cache.Random{Src: src}
+	}
+	if err := cache.PolicyValid(pol); err != nil {
+		panic(err)
+	}
 	logical := phys << extraBits
 	c := &Newcache{
 		physLines:  phys,
@@ -91,8 +116,11 @@ func New(sizeBytes, extraBits int, src *rng.Source) *Newcache {
 		logicalCap: logical,
 		lidxMask:   uint64(logical - 1),
 		lines:      make([]ncLine, phys),
+		stamps:     make([]uint64, phys),
+		policy:     pol,
 		src:        src,
 	}
+	_, c.noState = pol.(cache.Random)
 	for d := range c.remaps {
 		c.remaps[d] = make([]int32, logical)
 		for i := range c.remaps[d] {
@@ -145,7 +173,11 @@ func (c *Newcache) Lookup(l mem.Line, write bool) bool {
 		return false
 	}
 	c.stats.Hits++
+	c.tick++
 	c.lines[p].referenced = true
+	if !c.noState {
+		c.policy.OnHit(c.stamps, p, c.tick)
+	}
 	if write {
 		c.lines[p].dirty = true
 	}
@@ -158,8 +190,12 @@ func (c *Newcache) Probe(l mem.Line) bool { return c.locate(l) >= 0 }
 // Fill implements cache.Cache.
 func (c *Newcache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 	lidx := c.LogicalIndex(l)
+	c.tick++
 	if p := c.locate(l); p >= 0 {
 		c.lines[p].dirty = c.lines[p].dirty || opts.Dirty
+		if !c.noState {
+			c.policy.OnFill(c.stamps, p, c.tick)
+		}
 		return cache.Victim{}
 	}
 	c.stats.Fills++
@@ -169,8 +205,9 @@ func (c *Newcache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 		// Tag miss: replace the conflicting line (LDM semantics).
 		p = int(mapped)
 	} else {
-		// Index miss: random replacement (SecRAND).
-		p = c.src.Intn(c.physLines)
+		// Index miss: replacement-policy pick over the whole store
+		// (SecRAND under the default uniform-random policy).
+		p = c.policy.Victim(c.stamps)
 	}
 
 	var v cache.Victim
@@ -184,6 +221,9 @@ func (c *Newcache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 		valid:  true,
 		dirty:  opts.Dirty,
 		offset: opts.Offset,
+	}
+	if !c.noState {
+		c.policy.OnFill(c.stamps, p, c.tick)
 	}
 	c.remaps[c.active][lidx] = int32(p)
 	return v

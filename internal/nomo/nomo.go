@@ -25,7 +25,6 @@ type nmLine struct {
 	referenced bool
 	owner      int
 	offset     int8
-	stamp      uint64
 }
 
 // NoMo is a set-associative cache with per-thread way reservation.
@@ -39,9 +38,13 @@ type NoMo struct {
 	reserved int
 	threads  int
 	lines    []nmLine
-	tick     uint64
-	stats    cache.Stats
-	onEv     cache.EvictionObserver
+	// stamps is the replacement-policy state, parallel to lines, operated
+	// on as per-set subslices (same layout as cache.SetAssoc).
+	stamps []uint64
+	policy cache.Policy
+	tick   uint64
+	stats  cache.Stats
+	onEv   cache.EvictionObserver
 }
 
 var _ cache.Cache = (*NoMo)(nil)
@@ -50,10 +53,27 @@ var _ cache.Cache = (*NoMo)(nil)
 // `threads` hardware threads. It panics if the reservation exceeds the
 // associativity (a hardware configuration error).
 func New(geom cache.Geometry, threads, reserved int) *NoMo {
-	_ = cache.NewSetAssoc(geom, cache.LRU{}) // geometry validation
+	return NewWithPolicy(geom, threads, reserved, nil)
+}
+
+// NewWithPolicy builds a NoMo cache whose victim selection among a thread's
+// eligible ways follows pol (nil selects the historical LRU default). Way
+// reservation is enforced through the policy's masked victim path, so the
+// associativity must not exceed 64 ways.
+func NewWithPolicy(geom cache.Geometry, threads, reserved int, pol cache.Policy) *NoMo {
+	cache.ValidateGeometry(geom)
 	if threads < 1 || reserved < 0 || threads*reserved > geom.Ways {
 		panic(fmt.Sprintf("nomo: %d threads x %d reserved ways exceed %d-way sets",
 			threads, reserved, geom.Ways))
+	}
+	if pol == nil {
+		pol = cache.LRU{}
+	}
+	if err := cache.PolicyValid(pol); err != nil {
+		panic(err)
+	}
+	if geom.Ways > 64 {
+		panic(fmt.Sprintf("nomo: masked victim selection requires <= 64 ways, have %d", geom.Ways))
 	}
 	return &NoMo{
 		geom:     geom,
@@ -62,6 +82,8 @@ func New(geom cache.Geometry, threads, reserved int) *NoMo {
 		reserved: reserved,
 		threads:  threads,
 		lines:    make([]nmLine, geom.Sets()*geom.Ways),
+		stamps:   make([]uint64, geom.Sets()*geom.Ways),
+		policy:   pol,
 	}
 }
 
@@ -78,6 +100,9 @@ func (c *NoMo) setIndex(l mem.Line) int { return int(uint64(l) & uint64(c.sets-1
 
 func (c *NoMo) set(idx int) []nmLine { return c.lines[idx*c.ways : (idx+1)*c.ways] }
 
+// setStamps returns set idx's replacement-state words.
+func (c *NoMo) setStamps(idx int) []uint64 { return c.stamps[idx*c.ways : (idx+1)*c.ways] }
+
 func find(s []nmLine, l mem.Line) int {
 	for w := range s {
 		if s[w].valid && s[w].tag == l {
@@ -90,7 +115,8 @@ func find(s []nmLine, l mem.Line) int {
 // Lookup implements cache.Cache. Hits are served from any way regardless of
 // reservation (the partition constrains replacement, not lookup).
 func (c *NoMo) Lookup(l mem.Line, write bool) bool {
-	s := c.set(c.setIndex(l))
+	idx := c.setIndex(l)
+	s := c.set(idx)
 	w := find(s, l)
 	if w < 0 {
 		c.stats.Misses++
@@ -99,7 +125,7 @@ func (c *NoMo) Lookup(l mem.Line, write bool) bool {
 	c.stats.Hits++
 	c.tick++
 	s[w].referenced = true
-	s[w].stamp = c.tick
+	c.policy.OnHit(c.setStamps(idx), w, c.tick)
 	if write {
 		s[w].dirty = true
 	}
@@ -127,27 +153,31 @@ func (c *NoMo) eligible(owner, w int) bool {
 // Fill implements cache.Cache. opts.Owner identifies the filling hardware
 // thread.
 func (c *NoMo) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
-	s := c.set(c.setIndex(l))
+	idx := c.setIndex(l)
+	s := c.set(idx)
+	stamps := c.setStamps(idx)
 	c.tick++
 	if w := find(s, l); w >= 0 {
 		s[w].dirty = s[w].dirty || opts.Dirty
-		s[w].stamp = c.tick
+		c.policy.OnFill(stamps, w, c.tick)
 		return cache.Victim{}
 	}
 	c.stats.Fills++
-	// Invalid eligible way first, else LRU among eligible ways.
+	// Invalid eligible way first, else the policy's pick among eligible
+	// ways.
 	victim := -1
+	eligible := uint64(0)
 	for w := range s {
 		if !c.eligible(opts.Owner, w) {
 			continue
 		}
-		if !s[w].valid {
-			victim = w
-			break
-		}
-		if victim < 0 || s[w].stamp < s[victim].stamp {
+		eligible |= 1 << uint(w)
+		if victim < 0 && !s[w].valid {
 			victim = w
 		}
+	}
+	if victim < 0 {
+		victim = c.policy.VictimMasked(stamps, eligible)
 	}
 	if victim < 0 {
 		// No eligible way at all (shared pool empty and no
@@ -165,8 +195,8 @@ func (c *NoMo) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 		dirty:  opts.Dirty,
 		owner:  opts.Owner,
 		offset: opts.Offset,
-		stamp:  c.tick,
 	}
+	c.policy.OnFill(stamps, victim, c.tick)
 	return v
 }
 

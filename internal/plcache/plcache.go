@@ -33,7 +33,6 @@ type plLine struct {
 	locked     bool
 	owner      int
 	offset     int8
-	stamp      uint64
 }
 
 // PLcache is a set-associative cache with per-line locking.
@@ -42,9 +41,14 @@ type PLcache struct {
 	sets  int
 	ways  int
 	lines []plLine
-	tick  uint64
-	stats cache.Stats
-	onEv  cache.EvictionObserver
+	// stamps is the replacement-policy state, parallel to lines; the
+	// policy operates on it as a contiguous per-set subslice (same layout
+	// as cache.SetAssoc).
+	stamps []uint64
+	policy cache.Policy
+	tick   uint64
+	stats  cache.Stats
+	onEv   cache.EvictionObserver
 }
 
 var _ cache.Cache = (*PLcache)(nil)
@@ -52,14 +56,32 @@ var _ cache.Cache = (*PLcache)(nil)
 // New builds a PLcache with the given geometry and LRU replacement among
 // unlocked ways.
 func New(geom cache.Geometry) *PLcache {
-	// Reuse the geometry validation from the core cache package.
-	_ = cache.NewSetAssoc(geom, cache.LRU{})
+	return NewWithPolicy(geom, nil)
+}
+
+// NewWithPolicy builds a PLcache whose victim selection among unlocked
+// ways follows pol (nil selects the historical LRU default). Locking is
+// enforced through the policy's masked victim path, so the associativity
+// must not exceed 64 ways.
+func NewWithPolicy(geom cache.Geometry, pol cache.Policy) *PLcache {
+	cache.ValidateGeometry(geom)
+	if pol == nil {
+		pol = cache.LRU{}
+	}
+	if err := cache.PolicyValid(pol); err != nil {
+		panic(err)
+	}
+	if geom.Ways > 64 {
+		panic(fmt.Sprintf("plcache: masked victim selection requires <= 64 ways, have %d", geom.Ways))
+	}
 	sets := geom.Sets()
 	return &PLcache{
-		geom:  geom,
-		sets:  sets,
-		ways:  geom.Ways,
-		lines: make([]plLine, sets*geom.Ways),
+		geom:   geom,
+		sets:   sets,
+		ways:   geom.Ways,
+		lines:  make([]plLine, sets*geom.Ways),
+		stamps: make([]uint64, sets*geom.Ways),
+		policy: pol,
 	}
 }
 
@@ -79,6 +101,9 @@ func (c *PLcache) setIndex(l mem.Line) int { return int(uint64(l) & uint64(c.set
 
 func (c *PLcache) set(idx int) []plLine { return c.lines[idx*c.ways : (idx+1)*c.ways] }
 
+// setStamps returns set idx's replacement-state words.
+func (c *PLcache) setStamps(idx int) []uint64 { return c.stamps[idx*c.ways : (idx+1)*c.ways] }
+
 func find(s []plLine, l mem.Line) int {
 	for w := range s {
 		if s[w].valid && s[w].tag == l {
@@ -90,7 +115,8 @@ func find(s []plLine, l mem.Line) int {
 
 // Lookup implements cache.Cache.
 func (c *PLcache) Lookup(l mem.Line, write bool) bool {
-	s := c.set(c.setIndex(l))
+	idx := c.setIndex(l)
+	s := c.set(idx)
 	w := find(s, l)
 	if w < 0 {
 		c.stats.Misses++
@@ -99,7 +125,7 @@ func (c *PLcache) Lookup(l mem.Line, write bool) bool {
 	c.stats.Hits++
 	c.tick++
 	s[w].referenced = true
-	s[w].stamp = c.tick
+	c.policy.OnHit(c.setStamps(idx), w, c.tick)
 	if write {
 		s[w].dirty = true
 	}
@@ -115,7 +141,9 @@ func (c *PLcache) Probe(l mem.Line) bool {
 // locking load: the line is installed (or refreshed) with its lock bit set
 // and owned by opts.Owner.
 func (c *PLcache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
-	s := c.set(c.setIndex(l))
+	idx := c.setIndex(l)
+	s := c.set(idx)
+	stamps := c.setStamps(idx)
 	c.tick++
 	if w := find(s, l); w >= 0 {
 		s[w].dirty = s[w].dirty || opts.Dirty
@@ -123,11 +151,12 @@ func (c *PLcache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 			s[w].locked = true
 			s[w].owner = opts.Owner
 		}
-		s[w].stamp = c.tick
+		c.policy.OnFill(stamps, w, c.tick)
 		return cache.Victim{}
 	}
 
-	// Choose a victim: an invalid way first, else the LRU unlocked way.
+	// Choose a victim: an invalid way first, else the policy's pick among
+	// unlocked ways.
 	w := -1
 	for i := range s {
 		if !s[i].valid {
@@ -137,14 +166,13 @@ func (c *PLcache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 	}
 	var v cache.Victim
 	if w < 0 {
+		unlocked := uint64(0)
 		for i := range s {
-			if s[i].locked {
-				continue
-			}
-			if w < 0 || s[i].stamp < s[w].stamp {
-				w = i
+			if !s[i].locked {
+				unlocked |= 1 << uint(i)
 			}
 		}
+		w = c.policy.VictimMasked(stamps, unlocked)
 		if w < 0 {
 			// Every way is locked: the fill is refused and the data
 			// is forwarded to the processor uncached.
@@ -161,8 +189,8 @@ func (c *PLcache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 		locked: opts.Lock,
 		owner:  opts.Owner,
 		offset: opts.Offset,
-		stamp:  c.tick,
 	}
+	c.policy.OnFill(stamps, w, c.tick)
 	return v
 }
 

@@ -32,7 +32,6 @@ type rpLine struct {
 	referenced bool
 	domain     int
 	offset     int8
-	stamp      uint64
 }
 
 // RPcache is a set-associative cache with per-domain set permutation.
@@ -41,6 +40,10 @@ type RPcache struct {
 	sets  int
 	ways  int
 	lines []rpLine
+	// stamps is the replacement-policy state, parallel to lines, operated
+	// on as per-set subslices (same layout as cache.SetAssoc).
+	stamps []uint64
+	policy cache.Policy
 	// perm[d][logical set] = physical set.
 	perm   [MaxDomains][]int32
 	active int
@@ -55,17 +58,33 @@ var _ cache.Cache = (*RPcache)(nil)
 // New builds an RPcache. All domains start with the identity permutation;
 // deflected evictions randomize them over time.
 func New(geom cache.Geometry, src *rng.Source) *RPcache {
-	_ = cache.NewSetAssoc(geom, cache.LRU{}) // reuse geometry validation
+	return NewWithPolicy(geom, src, nil)
+}
+
+// NewWithPolicy builds an RPcache whose within-set victim selection follows
+// pol (nil selects the historical LRU default). The deflection protocol —
+// random alternate set and way, permutation swap — is untouched by the
+// policy; only the same-domain replacement pick changes.
+func NewWithPolicy(geom cache.Geometry, src *rng.Source, pol cache.Policy) *RPcache {
+	cache.ValidateGeometry(geom)
 	if src == nil {
 		panic("rpcache: nil rng source")
 	}
+	if pol == nil {
+		pol = cache.LRU{}
+	}
+	if err := cache.PolicyValid(pol); err != nil {
+		panic(err)
+	}
 	sets := geom.Sets()
 	c := &RPcache{
-		geom:  geom,
-		sets:  sets,
-		ways:  geom.Ways,
-		lines: make([]rpLine, sets*geom.Ways),
-		src:   src,
+		geom:   geom,
+		sets:   sets,
+		ways:   geom.Ways,
+		lines:  make([]rpLine, sets*geom.Ways),
+		stamps: make([]uint64, sets*geom.Ways),
+		policy: pol,
+		src:    src,
 	}
 	for d := 0; d < MaxDomains; d++ {
 		c.perm[d] = make([]int32, sets)
@@ -109,6 +128,11 @@ func (c *RPcache) set(phys int) []rpLine {
 	return c.lines[phys*c.ways : (phys+1)*c.ways]
 }
 
+// setStamps returns physical set phys's replacement-state words.
+func (c *RPcache) setStamps(phys int) []uint64 {
+	return c.stamps[phys*c.ways : (phys+1)*c.ways]
+}
+
 func find(s []rpLine, l mem.Line) int {
 	for w := range s {
 		if s[w].valid && s[w].tag == l {
@@ -120,7 +144,8 @@ func find(s []rpLine, l mem.Line) int {
 
 // Lookup implements cache.Cache.
 func (c *RPcache) Lookup(l mem.Line, write bool) bool {
-	s := c.set(c.physSet(l))
+	phys := c.physSet(l)
+	s := c.set(phys)
 	w := find(s, l)
 	if w < 0 {
 		c.stats.Misses++
@@ -129,7 +154,7 @@ func (c *RPcache) Lookup(l mem.Line, write bool) bool {
 	c.stats.Hits++
 	c.tick++
 	s[w].referenced = true
-	s[w].stamp = c.tick
+	c.policy.OnHit(c.setStamps(phys), w, c.tick)
 	if write {
 		s[w].dirty = true
 	}
@@ -150,7 +175,7 @@ func (c *RPcache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 	c.tick++
 	if w := find(s, l); w >= 0 {
 		s[w].dirty = s[w].dirty || opts.Dirty
-		s[w].stamp = c.tick
+		c.policy.OnFill(c.setStamps(phys), w, c.tick)
 		return cache.Victim{}
 	}
 	c.stats.Fills++
@@ -158,23 +183,18 @@ func (c *RPcache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 	// An invalid way needs no eviction and no deflection.
 	for w := range s {
 		if !s[w].valid {
-			c.place(s, w, l, opts)
+			c.place(s, phys, w, l, opts)
 			return cache.Victim{}
 		}
 	}
 
-	// LRU victim of the mapped set.
-	w := 0
-	for i := 1; i < c.ways; i++ {
-		if s[i].stamp < s[w].stamp {
-			w = i
-		}
-	}
+	// Policy victim of the mapped set.
+	w := c.policy.Victim(c.setStamps(phys))
 	if s[w].domain == c.active {
 		// Same-domain eviction: plain replacement, nothing leaks
 		// across domains.
 		v := c.evict(s, w)
-		c.place(s, w, l, opts)
+		c.place(s, phys, w, l, opts)
 		return v
 	}
 
@@ -216,20 +236,21 @@ func (c *RPcache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 		invalidate(s, -1)
 		invalidate(alt, aw)
 	}
-	c.place(alt, aw, l, opts)
+	c.place(alt, altPhys, aw, l, opts)
 	return v
 }
 
-// place installs line l into way w of set s under the active domain.
-func (c *RPcache) place(s []rpLine, w int, l mem.Line, opts cache.FillOpts) {
+// place installs line l into way w of physical set phys (whose line slice
+// is s) under the active domain.
+func (c *RPcache) place(s []rpLine, phys, w int, l mem.Line, opts cache.FillOpts) {
 	s[w] = rpLine{
 		tag:    l,
 		valid:  true,
 		dirty:  opts.Dirty,
 		domain: c.active,
 		offset: opts.Offset,
-		stamp:  c.tick,
 	}
+	c.policy.OnFill(c.setStamps(phys), w, c.tick)
 }
 
 func (c *RPcache) evict(s []rpLine, w int) cache.Victim {

@@ -38,9 +38,24 @@ type ScatterCache struct {
 	ways  int
 	lines []scLine
 	skews []uint64 // per-way index-derivation keys
-	src   *rng.Source
-	stats cache.Stats
-	onEv  cache.EvictionObserver
+	// stamps is the replacement-policy state, one word per slot. A line's
+	// policy "set" is its ways-long candidate slot vector, which is not
+	// contiguous (each way hashes to its own slot), so the policy operates
+	// on scratch, a gathered copy written back after mutation.
+	stamps  []uint64
+	scratch []uint64
+	policy  cache.Policy
+	// noState devirtualizes the uniform-random default: Random keeps no
+	// per-access state, so the gather/scatter and policy dispatch are
+	// skipped and the hot paths stay as lean as before parameterization.
+	// rndSrc is the Random policy's source, drawn directly (no interface
+	// dispatch) when noState is set.
+	noState bool
+	rndSrc  *rng.Source
+	tick    uint64
+	src     *rng.Source
+	stats   cache.Stats
+	onEv    cache.EvictionObserver
 }
 
 var _ cache.Cache = (*ScatterCache)(nil)
@@ -49,6 +64,14 @@ var _ cache.Cache = (*ScatterCache)(nil)
 // index keys and all replacement randomness from src. It panics on invalid
 // geometry, mirroring a hardware configuration error.
 func New(geom cache.Geometry, src *rng.Source) *ScatterCache {
+	return NewWithPolicy(geom, src, nil)
+}
+
+// NewWithPolicy builds a ScatterCache whose full-candidate-set victim way
+// follows pol over the line's gathered candidate slots (nil selects the
+// historical uniform-random default). The skewed indexing is untouched by
+// the policy; only which way's candidate slot is evicted changes.
+func NewWithPolicy(geom cache.Geometry, src *rng.Source, pol cache.Policy) *ScatterCache {
 	lines := geom.SizeBytes / mem.LineSize
 	if geom.SizeBytes <= 0 || geom.SizeBytes%mem.LineSize != 0 {
 		panic(fmt.Sprintf("scattercache: size %d not a positive multiple of line size", geom.SizeBytes))
@@ -60,18 +83,48 @@ func New(geom cache.Geometry, src *rng.Source) *ScatterCache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("scattercache: set count %d not a power of two", sets))
 	}
+	if pol == nil {
+		pol = cache.Random{Src: src}
+	}
+	if err := cache.PolicyValid(pol); err != nil {
+		panic(err)
+	}
 	c := &ScatterCache{
-		geom:  geom,
-		sets:  sets,
-		ways:  geom.Ways,
-		lines: make([]scLine, lines),
-		skews: make([]uint64, geom.Ways),
-		src:   src,
+		geom:    geom,
+		sets:    sets,
+		ways:    geom.Ways,
+		lines:   make([]scLine, lines),
+		skews:   make([]uint64, geom.Ways),
+		stamps:  make([]uint64, lines),
+		scratch: make([]uint64, geom.Ways),
+		policy:  pol,
+		src:     src,
+	}
+	if r, ok := pol.(cache.Random); ok {
+		c.noState, c.rndSrc = true, r.Src
 	}
 	for w := range c.skews {
 		c.skews[w] = src.Uint64()
 	}
 	return c
+}
+
+// touch gathers line l's candidate stamps, applies the policy's hit or fill
+// event to way w, and scatters the (possibly mutated) stamps back. Callers
+// gate on !noState so the default random policy pays neither the call nor
+// the way division at the call site.
+func (c *ScatterCache) touch(l mem.Line, w int, fill bool) {
+	for i := 0; i < c.ways; i++ {
+		c.scratch[i] = c.stamps[c.slot(i, l)]
+	}
+	if fill {
+		c.policy.OnFill(c.scratch, w, c.tick)
+	} else {
+		c.policy.OnHit(c.scratch, w, c.tick)
+	}
+	for i := 0; i < c.ways; i++ {
+		c.stamps[c.slot(i, l)] = c.scratch[i]
+	}
 }
 
 // Index returns way-local set index of line l under the given skew key:
@@ -140,7 +193,11 @@ func (c *ScatterCache) Lookup(l mem.Line, write bool) bool {
 		return false
 	}
 	c.stats.Hits++
+	c.tick++
 	c.lines[p].referenced = true
+	if !c.noState {
+		c.touch(l, p/c.sets, false)
+	}
 	if write {
 		c.lines[p].dirty = true
 	}
@@ -155,8 +212,12 @@ func (c *ScatterCache) Probe(l mem.Line) bool { return c.find(l) >= 0 }
 // occupant. The random way draw is the design's replacement randomization —
 // no recency state exists for an attacker to steer.
 func (c *ScatterCache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
+	c.tick++
 	if p := c.find(l); p >= 0 {
 		c.lines[p].dirty = c.lines[p].dirty || opts.Dirty
+		if !c.noState {
+			c.touch(l, p/c.sets, true)
+		}
 		return cache.Victim{}
 	}
 	c.stats.Fills++
@@ -169,7 +230,7 @@ func (c *ScatterCache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 	}
 	var v cache.Victim
 	if p < 0 {
-		p = c.slot(c.src.Intn(c.ways), l)
+		p = c.slot(c.victimWay(l), l)
 		v = c.evict(p)
 	}
 	c.lines[p] = scLine{
@@ -179,7 +240,29 @@ func (c *ScatterCache) Fill(l mem.Line, opts cache.FillOpts) cache.Victim {
 		owner:  opts.Owner,
 		offset: opts.Offset,
 	}
+	if !c.noState {
+		c.touch(l, p/c.sets, true)
+	}
 	return v
+}
+
+// victimWay picks the way whose candidate slot is evicted when every
+// candidate is valid. The uniform-random default draws a way directly (the
+// candidate stamps carry no information for it — scratch is passed
+// ungathered); stateful policies see the gathered candidate stamps and any
+// mutation (RRIP aging) is scattered back.
+func (c *ScatterCache) victimWay(l mem.Line) int {
+	if c.noState {
+		return c.rndSrc.Intn(c.ways) // == Random.Victim over the candidate vector
+	}
+	for i := 0; i < c.ways; i++ {
+		c.scratch[i] = c.stamps[c.slot(i, l)]
+	}
+	w := c.policy.Victim(c.scratch)
+	for i := 0; i < c.ways; i++ {
+		c.stamps[c.slot(i, l)] = c.scratch[i]
+	}
+	return w
 }
 
 // evict clears slot p and returns its victim record, after notifying the

@@ -213,3 +213,71 @@ func TestIndexPanicsOnBadSets(t *testing.T) {
 	}()
 	scattercache.Index(1, 2, 3)
 }
+
+// TestPolicyParameterizedReplacement drives the stateful-policy path: with a
+// non-random policy the victim way comes from the policy over the line's
+// gathered candidate stamps (mutations scattered back), hits and fills feed
+// the policy, and equal-seeded instances still replay identically.
+func TestPolicyParameterizedReplacement(t *testing.T) {
+	geom := cache.Geometry{SizeBytes: 4 * 1024, Ways: 4}
+	for _, pol := range []cache.Policy{cache.LRU{}, cache.SRRIP{}, cache.PLRU{}} {
+		a := scattercache.NewWithPolicy(geom, rng.New(9), pol)
+		b := scattercache.NewWithPolicy(geom, rng.New(9), pol)
+		src := rng.New(31)
+		for i := 0; i < 2048; i++ {
+			l := mem.Line(src.Intn(4 * a.NumLines()))
+			if a.Lookup(l, false) != b.Lookup(l, false) {
+				t.Fatalf("%s: op %d diverged between equal-seeded instances", pol, i)
+			}
+			if !a.Probe(l) {
+				va, vb := a.Fill(l, cache.FillOpts{}), b.Fill(l, cache.FillOpts{})
+				if va != vb {
+					t.Fatalf("%s: op %d victims diverged: %+v vs %+v", pol, i, va, vb)
+				}
+			}
+		}
+		st := a.Stats()
+		if *st != *b.Stats() {
+			t.Fatalf("%s: stats diverged: %+v vs %+v", pol, *st, *b.Stats())
+		}
+		if st.Evictions == 0 {
+			t.Fatalf("%s: eviction path never ran (fills %d)", pol, st.Fills)
+		}
+		if g := a.Geometry(); g != geom {
+			t.Fatalf("Geometry() = %+v, want %+v", g, geom)
+		}
+	}
+}
+
+// TestPolicyLRUPrefersColdCandidate: under the LRU policy, a line whose
+// candidate slots were all just touched by other lines evicts the
+// least-recently-touched candidate — observable as the hot line surviving a
+// conflict fill that the cold one loses.
+func TestPolicyLRUPrefersColdCandidate(t *testing.T) {
+	geom := cache.Geometry{SizeBytes: 1024, Ways: 2}
+	c := scattercache.NewWithPolicy(geom, rng.New(3), cache.LRU{})
+	span := 8 * c.NumLines()
+	// Warm the cache well past capacity, re-touching a small hot set often.
+	src := rng.New(5)
+	hot := []mem.Line{1, 2, 3}
+	for i := 0; i < 4096; i++ {
+		l := mem.Line(src.Intn(span))
+		if i%4 == 0 {
+			l = hot[i%3]
+		}
+		if !c.Lookup(l, false) {
+			c.Fill(l, cache.FillOpts{})
+		}
+	}
+	// The frequently re-touched lines should still be resident far more often
+	// than chance occupancy of a 16-line cache over a 128-line span implies.
+	resident := 0
+	for _, l := range hot {
+		if c.Probe(l) {
+			resident++
+		}
+	}
+	if resident == 0 {
+		t.Fatal("no hot line resident under the LRU policy")
+	}
+}

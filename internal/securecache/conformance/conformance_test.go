@@ -3,6 +3,7 @@ package conformance_test
 import (
 	"testing"
 
+	"randfill/internal/cache"
 	"randfill/internal/rng"
 	"randfill/internal/securecache"
 	"randfill/internal/securecache/conformance"
@@ -22,5 +23,26 @@ func TestConformanceAllDesigns(t *testing.T) {
 				return d.New(conformance.SmallConfig(), src)
 			})
 		})
+	}
+}
+
+// TestPolicyConformanceAllDesigns sweeps the full policy x design grid
+// through the same contract: every replacement policy must leave every
+// design deterministic, counter-consistent, flushable, and exactly-once on
+// evictions. This is the conformance gate for the PolicyMatrix experiment's
+// cells — a (policy, design) pair that breaks the contract fails here before
+// any matrix run depends on it.
+func TestPolicyConformanceAllDesigns(t *testing.T) {
+	for _, pol := range cache.PolicyNames() {
+		for _, d := range securecache.All() {
+			pol, d := pol, d
+			t.Run(pol+"/"+d.Name, func(t *testing.T) {
+				conformance.RunConformance(t, func(src *rng.Source) securecache.SecureCache {
+					cfg := conformance.SmallConfig()
+					cfg.Policy = pol
+					return d.New(cfg, src)
+				})
+			})
+		}
 	}
 }

@@ -30,6 +30,13 @@ type Config struct {
 	// 2 threads, 1 reserved way each).
 	Threads  int
 	Reserved int
+	// Policy names the replacement policy (see cache.PolicyNames). ""
+	// selects each design's historical default — LRU for randfill,
+	// plcache, rpcache and nomo; uniform random for newcache,
+	// scattercache and mirage — and is guaranteed byte-identical to the
+	// pre-policy registry. Any explicit name overrides the design's
+	// victim selection: the Peters et al. policy × design axis.
+	Policy string
 }
 
 func (c Config) withDefaults() Config {
@@ -102,11 +109,17 @@ func ByName(name string) (Design, bool) {
 	return Design{}, false
 }
 
-// New builds a named design, or errors with the known names.
+// New builds a named design, or errors with the known names. A bad
+// cfg.Policy errors too (listing the valid policy names), so CLI paths get
+// a diagnostic instead of a factory panic.
 func New(name string, cfg Config, src *rng.Source) (SecureCache, error) {
 	d, ok := ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("securecache: unknown design %q (have %v)", name, Names())
+	}
+	if !cache.KnownPolicy(cfg.Policy) {
+		return nil, fmt.Errorf("securecache: unknown replacement policy %q (have %v)",
+			cfg.Policy, cache.PolicyNames())
 	}
 	return d.New(cfg, src), nil
 }
@@ -117,11 +130,36 @@ func New(name string, cfg Config, src *rng.Source) (SecureCache, error) {
 // RNG split discipline matches the attacks' historical layout: cache
 // structure draws from src.Split(1), the random fill engine from
 // src.Split(2) — so a design built here behaves identically to one built
-// by hand with those splits.
+// by hand with those splits. A non-default RNG-backed replacement policy
+// (random, brrip) additionally consumes src.Split(3), which no historical
+// configuration touches; ""/draw-free policies split nothing, keeping every
+// default draw sequence byte-identical.
+
+// policyFor resolves cfg.Policy into a policy instance, or nil for "" (the
+// design's default). New already validated the name, so an error here is a
+// registry bug and panics.
+func policyFor(cfg Config, src *rng.Source) cache.Policy {
+	if cfg.Policy == "" {
+		return nil
+	}
+	var psrc *rng.Source
+	if cache.PolicyNeedsRNG(cfg.Policy) {
+		psrc = src.Split(3)
+	}
+	pol, err := cache.PolicyByName(cfg.Policy, psrc)
+	if err != nil {
+		panic(err)
+	}
+	return pol
+}
 
 func buildRandfill(cfg Config, src *rng.Source) SecureCache {
 	cfg = cfg.withDefaults()
-	c := cache.NewSetAssoc(cfg.Geom, cache.LRU{})
+	pol := policyFor(cfg, src)
+	if pol == nil {
+		pol = cache.LRU{}
+	}
+	c := cache.NewSetAssoc(cfg.Geom, pol)
 	eng := core.NewEngine(c, src.Split(2))
 	eng.SetRR(cfg.Window.A, cfg.Window.B)
 	return &randfill{design: c, eng: eng}
@@ -129,30 +167,34 @@ func buildRandfill(cfg Config, src *rng.Source) SecureCache {
 
 func buildNewcache(cfg Config, src *rng.Source) SecureCache {
 	cfg = cfg.withDefaults()
-	return &demand{design: newcache.New(cfg.Geom.SizeBytes, cfg.ExtraBits, src.Split(1))}
+	pol := policyFor(cfg, src)
+	return &demand{design: newcache.NewWithPolicy(cfg.Geom.SizeBytes, cfg.ExtraBits, src.Split(1), pol)}
 }
 
 func buildPLcache(cfg Config, src *rng.Source) SecureCache {
 	cfg = cfg.withDefaults()
-	return &demand{design: plcache.New(cfg.Geom)}
+	return &demand{design: plcache.NewWithPolicy(cfg.Geom, policyFor(cfg, src))}
 }
 
 func buildRPcache(cfg Config, src *rng.Source) SecureCache {
 	cfg = cfg.withDefaults()
-	return &demand{design: rpcache.New(cfg.Geom, src.Split(1))}
+	pol := policyFor(cfg, src)
+	return &demand{design: rpcache.NewWithPolicy(cfg.Geom, src.Split(1), pol)}
 }
 
 func buildNoMo(cfg Config, src *rng.Source) SecureCache {
 	cfg = cfg.withDefaults()
-	return &demand{design: nomo.New(cfg.Geom, cfg.Threads, cfg.Reserved)}
+	return &demand{design: nomo.NewWithPolicy(cfg.Geom, cfg.Threads, cfg.Reserved, policyFor(cfg, src))}
 }
 
 func buildScatterCache(cfg Config, src *rng.Source) SecureCache {
 	cfg = cfg.withDefaults()
-	return &demand{design: scattercache.New(cfg.Geom, src.Split(1))}
+	pol := policyFor(cfg, src)
+	return &demand{design: scattercache.NewWithPolicy(cfg.Geom, src.Split(1), pol)}
 }
 
 func buildMirage(cfg Config, src *rng.Source) SecureCache {
 	cfg = cfg.withDefaults()
-	return &demand{design: mirage.New(cfg.Geom, src.Split(1))}
+	pol := policyFor(cfg, src)
+	return &demand{design: mirage.NewWithPolicy(cfg.Geom, src.Split(1), pol)}
 }

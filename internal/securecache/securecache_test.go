@@ -157,6 +157,47 @@ func TestPortIdentity(t *testing.T) {
 	})
 }
 
+// TestDefaultPolicyIdentity pins the registry's byte-identity guarantee for
+// the Policy knob itself: naming a design's own default policy explicitly
+// ("lru" on the LRU designs) replays bit-identically to the empty default.
+// The RNG-default designs (newcache, scattercache, mirage) are deliberately
+// absent — an explicit "random" draws from the dedicated policy stream
+// (Split(3)) rather than the structural one, so only "" promises identity
+// there; TestPortIdentity covers that case. A bad policy name must error on
+// the New path, not panic in a factory.
+func TestDefaultPolicyIdentity(t *testing.T) {
+	for _, name := range []string{"randfill", "plcache", "rpcache", "nomo"} {
+		t.Run(name, func(t *testing.T) {
+			def, err := securecache.New(name, smallCfg(), rng.New(17))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := smallCfg()
+			cfg.Policy = "lru"
+			exp, err := securecache.New(name, cfg, rng.New(17))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := rng.New(88)
+			for i := 0; i < 4096; i++ {
+				l := mem.Line(src.Intn(256))
+				if got, want := exp.Access(l, false), def.Access(l, false); got != want {
+					t.Fatalf("op %d (line %d): explicit lru hit=%v, default hit=%v", i, l, got, want)
+				}
+			}
+			if *exp.Stats() != *def.Stats() {
+				t.Fatalf("stats diverged: explicit %+v, default %+v", *exp.Stats(), *def.Stats())
+			}
+		})
+	}
+
+	bad := smallCfg()
+	bad.Policy = "clock"
+	if _, err := securecache.New("randfill", bad, rng.New(1)); err == nil {
+		t.Fatal("unknown policy name accepted by securecache.New")
+	}
+}
+
 // TestSetPartyForwarding: the adapter forwards the party id both as the
 // fill owner and — for domain-aware designs — as the active trust domain.
 func TestSetPartyForwarding(t *testing.T) {

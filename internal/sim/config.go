@@ -49,8 +49,12 @@ type Config struct {
 	// L1 data cache geometry and architecture.
 	L1     cache.Geometry
 	L1Kind CacheKind
-	// L1Policy is the SA replacement policy name ("lru", "random",
-	// "fifo"); ignored for Newcache and PLcache.
+	// L1Policy is the L1 replacement policy name (see cache.PolicyNames:
+	// lru, fifo, random, plru, srrip, brrip). It applies to every L1Kind:
+	// "" selects the kind's historical default (LRU for the SA cache and
+	// the recency-based designs, uniform-random for the randomized ones),
+	// and any explicit name overrides the design's victim selection — the
+	// Peters et al. policy × design axis PolicyMatrix sweeps.
 	L1Policy string
 	// ExtraBits is Newcache's number of extra index bits k.
 	ExtraBits int
@@ -106,7 +110,7 @@ func DefaultConfig() Config {
 	return Config{
 		L1:         cache.Geometry{SizeBytes: 32 * 1024, Ways: 4},
 		L1Kind:     KindSA,
-		L1Policy:   "lru",
+		L1Policy:   "", // kind default: LRU for KindSA (Table IV)
 		ExtraBits:  4,
 		L2:         cache.Geometry{SizeBytes: 2 * 1024 * 1024, Ways: 8},
 		L1HitLat:   1,
@@ -174,6 +178,10 @@ type LevelConfig struct {
 	// through a full core.Engine (nofill forwarding, drop-if-present,
 	// underflow clamping, drop stats).
 	Window rng.Window
+	// Policy names the level's replacement policy; "" is LRU and keeps
+	// the historical RNG stream layout byte-identical (an RNG-backed
+	// policy opens a dedicated stream, see buildLevels).
+	Policy string
 }
 
 // belowL1 returns the configured below-L1 level stack: Levels when set,
@@ -185,17 +193,38 @@ func (c Config) belowL1() []LevelConfig {
 	return []LevelConfig{{Geom: c.L2, HitLat: c.L2HitLat, Window: c.L2Window}}
 }
 
-// buildL1 constructs the configured L1 cache.
+// buildL1 constructs the configured L1 cache. Stream rules: the SA cache
+// keeps its historical shape (the random policy draws from src itself, no
+// split); for the secure designs a non-default RNG-backed policy derives a
+// dedicated stream via src.Split(9) before the design consumes src, while
+// ""/draw-free policies split nothing — so every default configuration's
+// draw sequence is byte-identical to the pre-policy-parameterization layout.
 func (c Config) buildL1(src *rng.Source) cache.Cache {
+	var pol cache.Policy
+	if c.L1Kind != KindSA && c.L1Policy != "" {
+		var psrc *rng.Source
+		if cache.PolicyNeedsRNG(c.L1Policy) {
+			psrc = src.Split(9)
+		}
+		p, err := cache.PolicyByName(c.L1Policy, psrc)
+		if err != nil {
+			panic(err)
+		}
+		pol = p
+	}
 	switch c.L1Kind {
 	case KindSA:
-		return cache.NewSetAssoc(c.L1, cache.PolicyByName(c.L1Policy, src))
+		sp, err := cache.PolicyByName(c.L1Policy, src)
+		if err != nil {
+			panic(err)
+		}
+		return cache.NewSetAssoc(c.L1, sp)
 	case KindNewcache:
-		return buildNewcache(c.L1.SizeBytes, c.ExtraBits, src)
+		return buildNewcache(c.L1.SizeBytes, c.ExtraBits, src, pol)
 	case KindPLcache:
-		return buildPLcache(c.L1)
+		return buildPLcache(c.L1, pol)
 	case KindRPcache:
-		return buildRPcache(c.L1, src)
+		return buildRPcache(c.L1, src, pol)
 	case KindNoMo:
 		threads, reserved := c.NoMoThreads, c.NoMoReserved
 		if threads == 0 {
@@ -204,11 +233,11 @@ func (c Config) buildL1(src *rng.Source) cache.Cache {
 		if reserved == 0 {
 			reserved = 1
 		}
-		return buildNoMo(c.L1, threads, reserved)
+		return buildNoMo(c.L1, threads, reserved, pol)
 	case KindScatter:
-		return buildScatterCache(c.L1, src)
+		return buildScatterCache(c.L1, src, pol)
 	case KindMirage:
-		return buildMirage(c.L1, src)
+		return buildMirage(c.L1, src, pol)
 	default:
 		panic(fmt.Sprintf("sim: unknown L1 cache kind %q", c.L1Kind))
 	}

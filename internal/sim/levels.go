@@ -19,28 +19,28 @@ import (
 // against cache.Cache and hierarchy.Level. It also keeps the build graph
 // one-way: sim depends on the cache architectures, never the reverse.
 
-func buildNewcache(size, extraBits int, src *rng.Source) cache.Cache {
-	return newcache.New(size, extraBits, src)
+func buildNewcache(size, extraBits int, src *rng.Source, pol cache.Policy) cache.Cache {
+	return newcache.NewWithPolicy(size, extraBits, src, pol)
 }
 
-func buildPLcache(geom cache.Geometry) cache.Cache {
-	return plcache.New(geom)
+func buildPLcache(geom cache.Geometry, pol cache.Policy) cache.Cache {
+	return plcache.NewWithPolicy(geom, pol)
 }
 
-func buildRPcache(geom cache.Geometry, src *rng.Source) cache.Cache {
-	return rpcache.New(geom, src)
+func buildRPcache(geom cache.Geometry, src *rng.Source, pol cache.Policy) cache.Cache {
+	return rpcache.NewWithPolicy(geom, src, pol)
 }
 
-func buildNoMo(geom cache.Geometry, threads, reserved int) cache.Cache {
-	return nomo.New(geom, threads, reserved)
+func buildNoMo(geom cache.Geometry, threads, reserved int, pol cache.Policy) cache.Cache {
+	return nomo.NewWithPolicy(geom, threads, reserved, pol)
 }
 
-func buildScatterCache(geom cache.Geometry, src *rng.Source) cache.Cache {
-	return scattercache.New(geom, src)
+func buildScatterCache(geom cache.Geometry, src *rng.Source, pol cache.Policy) cache.Cache {
+	return scattercache.NewWithPolicy(geom, src, pol)
 }
 
-func buildMirage(geom cache.Geometry, src *rng.Source) cache.Cache {
-	return mirage.New(geom, src)
+func buildMirage(geom cache.Geometry, src *rng.Source, pol cache.Policy) cache.Cache {
+	return mirage.NewWithPolicy(geom, src, pol)
 }
 
 // buildLevels constructs the machine's full level stack from cfg, drawing
@@ -51,13 +51,27 @@ func buildMirage(geom cache.Geometry, src *rng.Source) cache.Cache {
 // nothing. This reproduces the historical two-level stream layout exactly
 // (L1 = Split(1), L2 window generator = Split(2) only when configured), so
 // thread streams (Split(100+i)) land on the same root draws as before the
-// hierarchy refactor.
+// hierarchy refactor. A below-L1 level with an RNG-backed replacement policy
+// additionally consumes root.Split(32+k) — a range no historical
+// configuration touches, so ""/draw-free policies leave the layout intact.
 func buildLevels(cfg Config, root *rng.Source) []*hierarchy.Level {
 	levels := []*hierarchy.Level{
 		hierarchy.NewLevel(cfg.buildL1(root.Split(1)), cfg.L1HitLat),
 	}
 	for k, lc := range cfg.belowL1() {
-		c := cache.NewSetAssoc(lc.Geom, cache.LRU{})
+		var pol cache.Policy = cache.LRU{}
+		if lc.Policy != "" {
+			var psrc *rng.Source
+			if cache.PolicyNeedsRNG(lc.Policy) {
+				psrc = root.Split(uint64(32 + k))
+			}
+			p, err := cache.PolicyByName(lc.Policy, psrc)
+			if err != nil {
+				panic(err)
+			}
+			pol = p
+		}
+		c := cache.NewSetAssoc(lc.Geom, pol)
 		lvl := hierarchy.NewLevel(c, lc.HitLat)
 		if !lc.Window.Zero() {
 			e := core.NewEngine(c, root.Split(uint64(2+k)))

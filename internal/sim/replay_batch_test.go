@@ -77,6 +77,11 @@ func TestBatchReplayMatchesStep(t *testing.T) {
 	plKind.L1Kind = KindPLcache
 	rpKind := tiny
 	rpKind.L1Kind = KindRPcache
+	withPolicy := func(name string) Config {
+		c := tiny
+		c.L1Policy = name
+		return c
+	}
 
 	rf := ThreadConfig{Mode: ModeRandomFill, Window: rng.Window{A: 8, B: 7}}
 
@@ -99,6 +104,16 @@ func TestBatchReplayMatchesStep(t *testing.T) {
 		{name: "plcache-fallback", cfg: plKind, tc: ThreadConfig{Mode: ModePreload, SecretRegions: []mem.Region{reg}}},
 		{name: "rpcache-fallback", cfg: rpKind, tc: rf},
 		{name: "prefetch-fallback", cfg: tiny, tc: ThreadConfig{}, prefetch: true},
+		// Per-policy state-diff pins: the devirtualized SetAssoc batch path
+		// goes through TryHit/Lookup/Fill only, so every stateful policy
+		// (tree bits, RRIP counters, BRRIP draws) must land in exactly the
+		// per-set state the Step loop produces — under random fill too, so
+		// the policy sees out-of-window fills the same way in both paths.
+		{name: "policy-plru", cfg: withPolicy("plru"), tc: rf},
+		{name: "policy-srrip", cfg: withPolicy("srrip"), tc: rf},
+		{name: "policy-brrip", cfg: withPolicy("brrip"), tc: rf},
+		{name: "policy-fifo", cfg: withPolicy("fifo"), tc: ThreadConfig{}},
+		{name: "policy-random", cfg: withPolicy("random"), tc: ThreadConfig{}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

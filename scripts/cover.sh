@@ -10,7 +10,7 @@
 set -eu
 
 THRESHOLD=80
-PKGS="randfill/internal/hierarchy randfill/internal/sim randfill/internal/core randfill/internal/trace randfill/internal/scattercache randfill/internal/mirage randfill/internal/securecache/conformance"
+PKGS="randfill/internal/cache randfill/internal/hierarchy randfill/internal/sim randfill/internal/core randfill/internal/trace randfill/internal/scattercache randfill/internal/mirage randfill/internal/securecache/conformance"
 
 fail=0
 for pkg in $PKGS; do

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint lint-fast ci cover bench bench-json bench-compare profile experiments fuzz fuzz-smoke conformance crash-resume clean
+.PHONY: all build test test-short vet lint lint-fast ci cover bench bench-json bench-compare profile experiments fuzz fuzz-smoke conformance crash-resume fabric-fault clean
 
 all: build lint test
 
@@ -77,6 +77,14 @@ experiments-full: build
 # byte-for-byte (see ci.yml crash-resume).
 crash-resume:
 	$(GO) test -race -run 'CrashResume|DeadlineExit|InterruptExit|UsageErrors' ./cmd/experiments
+
+# Distributed-fabric fault suite: multi-process coordinator/worker runs of
+# the real binary with whole-worker kills, stalls, torn leases, and clock
+# skew; every topology must print the single-process bytes (see ci.yml
+# fabric-fault).
+fabric-fault:
+	$(GO) test -race -run 'Fabric' -timeout 15m ./cmd/experiments
+	$(GO) test -race ./internal/fabric/
 
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/traceio/

@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"randfill/internal/checkpoint"
 	"randfill/internal/faultinject"
 )
 
@@ -106,11 +107,22 @@ func saveArtifacts(t *testing.T, ckptDir string) {
 	})
 }
 
+// ckpts lists every checkpoint file (complete or torn) through the store's
+// own Scan, so the tests and the production inventory agree on what counts
+// as a checkpoint file.
 func ckpts(t *testing.T, dir string) []string {
 	t.Helper()
-	names, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	st, err := checkpoint.Open(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	entries, err := st.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Path)
 	}
 	return names
 }

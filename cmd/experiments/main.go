@@ -14,12 +14,29 @@
 // instead of re-running them — the resumed output is byte-identical to an
 // uninterrupted run at any -workers value. The first SIGINT or SIGTERM
 // cancels cooperatively (in-flight units finish and flush); a second exits
-// immediately.
+// immediately, leaving best-effort aborted markers so a resuming
+// coordinator prioritizes the units that were in flight.
+//
+// Multi-process runs distribute one resumable experiment's work units
+// across worker processes over a shared fabric directory (internal/fabric;
+// no network — the filesystem is the bus):
+//
+//	experiments -role coordinator -fabric-dir F -run PolicyMatrix -fabric-spawn 4
+//	experiments -role worker      -fabric-dir F -run PolicyMatrix   # more, any time
+//
+// The coordinator hands units out through lease files, re-dispatches
+// expired leases with exponential backoff, and renders the final table from
+// the checkpoint store — byte-identical to a single-process run no matter
+// how many workers ran, died, or were re-dispatched. -join merges the
+// checkpoint stores of partial runs into -checkpoint-dir and renders from
+// the merged store, with the same byte-identity guarantee.
 //
 // Exit codes: 0 success; 1 experiment failure; 2 usage error; 3 interrupted
 // by a signal (completed units were flushed if -checkpoint-dir was set);
-// 4 -timeout deadline exceeded (same flush guarantee); 130 hard exit on a
-// second signal; 137 fault-injected kill (-fault-plan, crash tests only).
+// 4 -timeout deadline exceeded (same flush guarantee); 5 fabric coordinator
+// refused — another live coordinator holds the fabric directory; 130 hard
+// exit on a second signal; 137 fault-injected kill (-fault-plan, crash
+// tests only).
 package main
 
 import (
@@ -28,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -35,6 +53,7 @@ import (
 
 	"randfill/internal/checkpoint"
 	"randfill/internal/experiments"
+	"randfill/internal/fabric"
 	"randfill/internal/faultinject"
 	"randfill/internal/profiling"
 )
@@ -61,6 +80,14 @@ func run() int {
 	resume := flag.Bool("resume", false, "load completed units from -checkpoint-dir instead of re-running them")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none); on expiry completed units are already flushed")
 	faultPlan := flag.String("fault-plan", "", "fault-injection plan for crash testing, e.g. 'kill-after-puts=3' (see internal/faultinject)")
+	role := flag.String("role", "", "fabric role: coordinator or worker (requires -fabric-dir and a single resumable -run)")
+	fabricDir := flag.String("fabric-dir", "", "shared fabric directory for multi-process runs (see internal/fabric)")
+	workerID := flag.String("worker-id", "", "this worker's id (default worker-<pid>)")
+	fabricSpawn := flag.Int("fabric-spawn", 0, "coordinator convenience: spawn this many worker subprocesses of this binary")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "fabric lease duration; a worker silent this long is presumed dead")
+	fabricPoll := flag.Duration("fabric-poll", 200*time.Millisecond, "fabric scan/claim interval")
+	idleExit := flag.Duration("worker-idle-exit", time.Minute, "worker exits cleanly after this long with no work and no done marker (0 = wait forever)")
+	joinSrcs := flag.String("join", "", "comma-separated checkpoint or fabric dirs to merge into -checkpoint-dir, then render from the merged store")
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
@@ -97,11 +124,39 @@ func run() int {
 	}
 	sc.Workers = *workers
 
+	var plan *faultinject.Plan
+	if *faultPlan != "" {
+		p, err := faultinject.Parse(*faultPlan)
+		if err != nil {
+			return usage("%v", err)
+		}
+		plan = p
+	}
+
+	// Resolve the run mode up front so the signal handler knows where
+	// best-effort aborted markers belong.
+	if *role != "" && *role != "coordinator" && *role != "worker" {
+		return usage("unknown -role %q (want coordinator or worker)", *role)
+	}
+	if *role != "" {
+		if *fabricDir == "" {
+			return usage("-role %s requires -fabric-dir", *role)
+		}
+		if *ckptDir != "" || *resume || *joinSrcs != "" {
+			return usage("-role uses <fabric-dir>/ckpt as its store; -checkpoint-dir, -resume, and -join do not combine with it")
+		}
+		if _, ok := experiments.PlanFor(*runFlag, sc); !ok {
+			return usage("-role requires a single resumable -run experiment (Figure2, Table3, MissQueueSecurity, OccupancyMatrix, PolicyMatrix); got %q", *runFlag)
+		}
+	}
 	if *ckptDir == "" {
 		if *resume {
 			return usage("-resume requires -checkpoint-dir")
 		}
-		if *faultPlan != "" {
+		if *joinSrcs != "" {
+			return usage("-join requires -checkpoint-dir (the destination store)")
+		}
+		if *faultPlan != "" && *role == "" {
 			return usage("-fault-plan requires -checkpoint-dir (it injects faults at checkpoint writes)")
 		}
 	} else {
@@ -110,17 +165,26 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			return 2
 		}
-		if *faultPlan != "" {
-			plan, err := faultinject.Parse(*faultPlan)
-			if err != nil {
-				return usage("%v", err)
-			}
-			if plan != nil {
-				store.Hooks = plan
-			}
+		if plan != nil {
+			store.Hooks = plan
 		}
 		sc.Checkpoint = store
 		sc.Resume = *resume
+	}
+
+	procID := *workerID
+	if procID == "" {
+		procID = fmt.Sprintf("%s-%d", orSolo(*role), os.Getpid())
+	}
+	// abortStoreDir is where the hard-kill path leaves aborted markers: the
+	// fabric's shared store for fabric roles, -checkpoint-dir otherwise.
+	abortStoreDir := *ckptDir
+	if *role != "" {
+		abortStoreDir = fabric.Layout{Root: *fabricDir}.CheckpointDir()
+	}
+	tracker := fabric.NewInFlight(procID)
+	if sc.Checkpoint != nil {
+		sc.Track = tracker.Observe
 	}
 
 	var todo []experiments.Experiment
@@ -144,7 +208,9 @@ func run() int {
 
 	// First signal: cancel cooperatively — workers stop claiming new units,
 	// units already running finish and flush their checkpoints, and the run
-	// exits 3. Second signal: exit immediately.
+	// exits 3. Second signal: exit immediately, leaving best-effort aborted
+	// markers for the units in flight so a resuming coordinator runs them
+	// first.
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
@@ -154,9 +220,53 @@ func run() int {
 		cancel()
 		<-sigc
 		fmt.Fprintln(os.Stderr, "experiments: second signal, exiting immediately")
+		tracker.WriteAborted(abortStoreDir)
 		os.Exit(130)
 	}()
 
+	switch *role {
+	case "worker":
+		return runFabricWorker(ctx, sc, *runFlag, *fabricDir, procID,
+			*leaseTTL, *fabricPoll, *idleExit, plan, tracker)
+	case "coordinator":
+		var spawnArgs []string
+		if *fabricSpawn > 0 {
+			spawnArgs = []string{
+				"-role", "worker", "-fabric-dir", *fabricDir, "-run", *runFlag,
+				"-scale", *scale,
+				"-seed", fmt.Sprint(sc.Seed),
+				"-attack-cap", fmt.Sprint(*attackCap),
+				"-mc-trials", fmt.Sprint(*mcTrials),
+				"-workers", fmt.Sprint(*workers),
+				"-lease-ttl", leaseTTL.String(),
+				"-fabric-poll", fabricPoll.String(),
+				"-worker-idle-exit", idleExit.String(),
+			}
+		}
+		return runFabricCoordinator(ctx, sc, *runFlag, *fabricDir, procID,
+			*leaseTTL, *fabricPoll, plan, *fabricSpawn, spawnArgs)
+	}
+
+	if *joinSrcs != "" {
+		rep, err := fabric.Join(sc.Checkpoint, strings.Split(*joinSrcs, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "experiments: join: %d adopted, %d already present, %d torn skipped\n",
+			rep.Adopted, rep.AlreadyPresent, rep.TornSkipped)
+		// Render from the merged store: with every unit present this
+		// restores rather than recomputes, and the output is byte-identical
+		// to an uninterrupted single-process run.
+		sc.Resume = true
+	}
+
+	return runSolo(ctx, sc, todo)
+}
+
+// runSolo is the original single-process flow: run each requested
+// experiment and print its table.
+func runSolo(ctx context.Context, sc experiments.Scale, todo []experiments.Experiment) int {
 	note := ""
 	if sc.Checkpoint != nil {
 		note = "; completed units are flushed to " + sc.Checkpoint.Dir() + " — rerun with -resume to continue"
@@ -184,5 +294,168 @@ func run() int {
 		//lint:ignore detrand wall-clock progress display only; never feeds simulator or experiment state
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+// orSolo names the process for in-flight tracking: the fabric role when
+// set, "solo" otherwise.
+func orSolo(role string) string {
+	if role == "" {
+		return "solo"
+	}
+	return role
+}
+
+// fabricPlan adapts an experiment's exported work-unit plan to the fabric's
+// type-erased form and opens the fabric's shared checkpoint store.
+func fabricPlan(name string, sc experiments.Scale, dir string) (fabric.Plan, *checkpoint.Store, error) {
+	layout := fabric.Layout{Root: dir}
+	if err := layout.Prepare(); err != nil {
+		return fabric.Plan{}, nil, err
+	}
+	store, err := checkpoint.Open(layout.CheckpointDir())
+	if err != nil {
+		return fabric.Plan{}, nil, err
+	}
+	wp, ok := experiments.PlanFor(name, sc)
+	if !ok {
+		return fabric.Plan{}, nil, fmt.Errorf("no work-unit plan for %q", name)
+	}
+	return fabric.Plan{Name: wp.Name, Units: wp.Units, Meta: wp.Meta, RunUnit: wp.RunUnit}, store, nil
+}
+
+// runFabricWorker claims and executes leased units until the coordinator
+// publishes the done marker (or the worker idles out). It writes nothing to
+// stdout: the coordinator owns the rendered table.
+func runFabricWorker(ctx context.Context, sc experiments.Scale, name, dir, id string,
+	ttl, poll, idle time.Duration, plan *faultinject.Plan, tracker *fabric.InFlight) int {
+	fp, store, err := fabricPlan(name, sc, dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: worker %s: %v\n", id, err)
+		return 1
+	}
+	cfg := fabric.WorkerConfig{
+		Dir: dir, ID: id, Plan: fp, Store: store,
+		TTL: ttl, Poll: poll, IdleExit: idle,
+		Track: tracker, Log: os.Stderr,
+	}
+	if plan != nil {
+		store.Hooks = plan
+		cfg.BeforeUnit = plan.StallBeforeUnit
+		cfg.AfterUnit = plan.KillAfterUnit
+		cfg.AfterLeaseWrite = plan.AfterLeaseWrite
+		if plan.ClockSkew != 0 {
+			cfg.Clock = fabric.SkewedClock(plan.ClockSkew)
+		}
+	}
+	res, err := fabric.RunWorker(ctx, cfg)
+	switch {
+	case err == nil:
+		fmt.Fprintf(os.Stderr, "experiments: worker %s: %d units completed, %d fenced, %d skipped\n",
+			id, res.Completed, res.Fenced, res.Skipped)
+		return 0
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "experiments: worker %s: deadline exceeded\n", id)
+		return 4
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "experiments: worker %s: interrupted\n", id)
+		return 3
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: worker %s: %v\n", id, err)
+		return 1
+	}
+}
+
+// runFabricCoordinator dispatches the experiment's units over the fabric
+// directory, optionally spawning worker subprocesses of this same binary,
+// and renders the final table from the shared store once every unit is
+// checkpointed — byte-identical to a single-process run.
+func runFabricCoordinator(ctx context.Context, sc experiments.Scale, name, dir, id string,
+	ttl, poll time.Duration, plan *faultinject.Plan, spawn int, spawnArgs []string) int {
+	fp, store, err := fabricPlan(name, sc, dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: coordinator %s: %v\n", id, err)
+		return 1
+	}
+	cfg := fabric.CoordinatorConfig{
+		Dir: dir, ID: id, Plan: fp, Store: store,
+		TTL: ttl, Poll: poll, Log: os.Stderr,
+	}
+	if plan != nil {
+		cfg.AfterLeaseWrite = plan.AfterLeaseWrite
+		if plan.ClockSkew != 0 {
+			cfg.Clock = fabric.SkewedClock(plan.ClockSkew)
+		}
+	}
+
+	var kids []*exec.Cmd
+	if spawn > 0 {
+		bin, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: coordinator %s: %v\n", id, err)
+			return 1
+		}
+		for i := 0; i < spawn; i++ {
+			args := append([]string{}, spawnArgs...)
+			args = append(args, "-worker-id", fmt.Sprintf("%s-w%d", id, i))
+			kid := exec.CommandContext(ctx, bin, args...)
+			kid.Stderr = os.Stderr
+			if err := kid.Start(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: coordinator %s: spawn worker %d: %v\n", id, i, err)
+				return 1
+			}
+			kids = append(kids, kid)
+		}
+	}
+	reap := func() {
+		for _, kid := range kids {
+			if err := kid.Wait(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: coordinator %s: worker %d: %v\n",
+					id, kid.Process.Pid, err)
+			}
+		}
+	}
+
+	res, err := fabric.RunCoordinator(ctx, cfg)
+	switch {
+	case err == nil:
+		// done marker is published; workers will see it and exit.
+	case errors.Is(err, fabric.ErrCoordinatorHeld):
+		fmt.Fprintf(os.Stderr, "experiments: coordinator %s: %v\n", id, err)
+		reap()
+		return 5
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "experiments: coordinator %s: deadline exceeded; completed units are flushed in %s\n", id, store.Dir())
+		reap()
+		return 4
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "experiments: coordinator %s: interrupted; completed units are flushed in %s\n", id, store.Dir())
+		reap()
+		return 3
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: coordinator %s: %v\n", id, err)
+		reap()
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "experiments: coordinator %s: epoch %d, %d dispatched (%d re-dispatched, %d aborted-first)\n",
+		id, res.Epoch, res.Dispatched, res.Redispatched, res.AbortedFirst)
+	reap()
+
+	// Every unit is checkpointed: render by restoring from the shared store.
+	e, ok := experiments.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: coordinator %s: unknown experiment %q\n", id, name)
+		return 1
+	}
+	scR := sc
+	scR.Checkpoint = store
+	scR.Resume = true
+	scR.Track = nil
+	t, err := e.Run(ctx, scR)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: coordinator %s: render: %v\n", id, err)
+		return 1
+	}
+	fmt.Println(t)
 	return 0
 }

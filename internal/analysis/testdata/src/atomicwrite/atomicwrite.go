@@ -39,6 +39,27 @@ func atomicWrites(results []byte) error {
 	return f.Commit()
 }
 
+func rawLeaseWrites(frame []byte) error {
+	// Fabric lease files are coordination state read by other live
+	// processes: a torn lease flaps ownership, so they must publish
+	// atomically like any result artifact.
+	if err := os.WriteFile("leases/Figure2-0003.lease", frame, 0o644); err != nil { // want "non-atomically (os.WriteFile)"
+		return err
+	}
+	f, err := os.Create("coordinator.lease") // want "non-atomically (os.Create)"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(frame); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func atomicLeaseWrites(frame []byte) error {
+	return atomicio.WriteFile("leases/Figure2-0003.lease", frame, 0o644)
+}
+
 func readingAndScratchAreFine() error {
 	// Reads and explicit scratch files are not result artifacts.
 	f, err := os.Open("input.trace")

@@ -8,6 +8,14 @@
 //
 // The temp file is created in the destination's directory, not os.TempDir,
 // because rename is only atomic within a filesystem.
+//
+// Durability note: rename alone is atomic but not durable — after a power
+// loss the directory entry may still point at the old file even though the
+// new data blocks were fsynced. Commit therefore fsyncs the destination's
+// parent directory after the rename, which is what persists the directory
+// entry itself. Only after that fsync returns is the publish crash-durable;
+// a failure there is reported as an error even though the new file is
+// already visible to readers.
 package atomicio
 
 import (
@@ -98,9 +106,22 @@ func WriteFile(dest string, data []byte, perm os.FileMode) error {
 	return f.Commit()
 }
 
-// syncDir fsyncs a directory to persist a rename within it.
+// dirHandle is the slice of *os.File syncDir needs; tests swap openDir to
+// assert the open/sync/close discipline on the parent directory.
+type dirHandle interface {
+	Sync() error
+	Close() error
+}
+
+// openDir opens a directory for fsync. It is a seam so tests can observe
+// (and fail) the directory sync without a power-loss rig.
+var openDir = func(dir string) (dirHandle, error) { return os.Open(dir) }
+
+// syncDir fsyncs a directory to persist a rename within it: open the dir,
+// fsync the handle, close it. Without this, the rename is atomic but not
+// durable (see the package doc).
 func syncDir(dir string) error {
-	d, err := os.Open(dir)
+	d, err := openDir(dir)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,120 @@
+package atomicio
+
+// In-package tests for the directory-fsync discipline: a rename is atomic
+// but only the parent-directory fsync makes it durable across power loss,
+// so Commit must open the destination's directory, Sync the handle, and
+// Close it — exactly once per publish.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// recordingDir wraps the real directory handle and records the sequence of
+// operations applied to it.
+type recordingDir struct {
+	real   *os.File
+	events *[]string
+	fail   error // returned from Sync when non-nil
+}
+
+func (d *recordingDir) Sync() error {
+	*d.events = append(*d.events, "sync "+filepath.Base(d.real.Name()))
+	if d.fail != nil {
+		//lint:ignore errcheck-io test cleanup of a wrapped handle on injected failure
+		d.real.Close()
+		return d.fail
+	}
+	return d.real.Sync()
+}
+
+func (d *recordingDir) Close() error {
+	*d.events = append(*d.events, "close "+filepath.Base(d.real.Name()))
+	return d.real.Close()
+}
+
+// record swaps the openDir seam for one that logs open/sync/close events on
+// the given slice, restoring the real one on test cleanup.
+func record(t *testing.T, events *[]string, fail error) {
+	t.Helper()
+	orig := openDir
+	openDir = func(dir string) (dirHandle, error) {
+		*events = append(*events, "open "+filepath.Base(dir))
+		f, err := os.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		return &recordingDir{real: f, events: events, fail: fail}, nil
+	}
+	t.Cleanup(func() { openDir = orig })
+}
+
+// TestCommitSyncsParentDirectory asserts the durability discipline: after
+// the rename, Commit opens the destination's parent directory, fsyncs the
+// handle, and closes it — once.
+func TestCommitSyncsParentDirectory(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Base(dir)
+	var events []string
+	record(t, &events, nil)
+
+	f, err := Create(filepath.Join(dir, "out.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("directory touched before Commit: %v", events)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"open " + base, "sync " + base, "close " + base}
+	if len(events) != len(want) {
+		t.Fatalf("dir events %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("dir events %v, want %v", events, want)
+		}
+	}
+}
+
+// TestWriteFileSyncsParentDirectory: the WriteFile convenience path runs
+// the same open/sync/close sequence as an explicit Create+Commit.
+func TestWriteFileSyncsParentDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var events []string
+	record(t, &events, nil)
+
+	if err := WriteFile(filepath.Join(dir, "a.json"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || events[0] != "open "+filepath.Base(dir) {
+		t.Fatalf("dir events %v, want open/sync/close of %s", events, filepath.Base(dir))
+	}
+}
+
+// TestCommitReportsDirSyncFailure: a failed directory fsync is surfaced as
+// an error (the publish is visible but not yet crash-durable) while the
+// data file itself stays complete.
+func TestCommitReportsDirSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	var events []string
+	injected := errors.New("injected dir-sync failure")
+	record(t, &events, injected)
+
+	dest := filepath.Join(dir, "out.bin")
+	err := WriteFile(dest, []byte("payload"), 0o644)
+	if err == nil || !errors.Is(err, injected) {
+		t.Fatalf("WriteFile error = %v, want injected dir-sync failure", err)
+	}
+	got, rerr := os.ReadFile(dest)
+	if rerr != nil || string(got) != "payload" {
+		t.Fatalf("data file after dir-sync failure: %q, %v", got, rerr)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"randfill/internal/atomicio"
@@ -91,13 +92,24 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-// path derives the shard's file name. The config hash is part of the name,
-// so checkpoints from a different configuration of the same experiment
-// coexist without ever being confused for each other.
-func (s *Store) path(m Meta) string {
-	return filepath.Join(s.dir, fmt.Sprintf("%s-s%03d-%016x.ckpt",
-		sanitize(m.Experiment), m.Shard, m.ConfigHash))
+// FileBase is the shard's canonical file-name stem, without directory or
+// extension. The config hash is part of the name, so checkpoints from a
+// different configuration of the same experiment coexist without ever being
+// confused for each other. The fabric layer reuses the same stem for a
+// unit's lease and aborted-marker files, so every per-unit artifact of one
+// run sorts and greps together.
+func (m Meta) FileBase() string {
+	return fmt.Sprintf("%s-s%03d-%016x", sanitize(m.Experiment), m.Shard, m.ConfigHash)
 }
+
+// Path returns the absolute path shard m's checkpoint file occupies (whether
+// or not it exists yet).
+func (s *Store) Path(m Meta) string {
+	return filepath.Join(s.dir, m.FileBase()+".ckpt")
+}
+
+// path derives the shard's file name; see Meta.FileBase.
+func (s *Store) path(m Meta) string { return s.Path(m) }
 
 // sanitize maps an experiment/stage name to a safe file-name fragment.
 func sanitize(name string) string {
@@ -231,6 +243,154 @@ func decode(data []byte) (Meta, []byte, error) {
 		return m, nil, errCorrupt
 	}
 	return m, payload, nil
+}
+
+// ScanState classifies one file Scan found in the store directory.
+type ScanState int
+
+const (
+	// ScanComplete: the file's frame and CRC verify; Meta is trustworthy.
+	ScanComplete ScanState = iota
+	// ScanTorn: the file fails magic/framing/CRC verification — a torn or
+	// corrupted write. Get would report it as missing; the coordinator
+	// schedules the unit as incomplete.
+	ScanTorn
+)
+
+func (s ScanState) String() string {
+	if s == ScanComplete {
+		return "complete"
+	}
+	return "torn"
+}
+
+// ScanEntry is one checkpoint file Scan found.
+type ScanEntry struct {
+	// Path is the file's full path.
+	Path string
+	// Meta is the stored identity; zero when State is ScanTorn.
+	Meta Meta
+	// State reports whether the file verifies.
+	State ScanState
+}
+
+// Foreign reports whether a complete entry belongs to a different
+// configuration than want — same directory, but a different experiment,
+// config hash, seed, or RNG stream version. Foreign entries are never
+// loaded for want's run; they are surfaced so a coordinator can tell
+// "done", "torn", and "someone else's" apart when it inventories a shared
+// directory.
+func (e ScanEntry) Foreign(want Meta) bool {
+	if e.State != ScanComplete {
+		return false
+	}
+	return e.Meta.Experiment != want.Experiment ||
+		e.Meta.ConfigHash != want.ConfigHash ||
+		e.Meta.StreamVersion != want.StreamVersion
+}
+
+// Scan inventories every checkpoint file in the store directory, in sorted
+// file-name order: complete entries carry their verified Meta, torn ones are
+// reported as ScanTorn. It is the one shared answer to "which units does
+// this directory actually hold" — the coordinator's dispatch loop, the
+// crash-resume suite, and the join merge all consume it instead of globbing
+// the directory by hand.
+func (s *Store) Scan() ([]ScanEntry, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.ckpt"))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: scan %s: %w", s.dir, err)
+	}
+	sort.Strings(names)
+	entries := make([]ScanEntry, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // raced a concurrent cleanup; the file is simply gone
+			}
+			return nil, fmt.Errorf("checkpoint: scan %s: %w", s.dir, err)
+		}
+		m, _, derr := decode(data)
+		if derr != nil {
+			entries = append(entries, ScanEntry{Path: name, State: ScanTorn})
+			continue
+		}
+		entries = append(entries, ScanEntry{Path: name, Meta: m, State: ScanComplete})
+	}
+	return entries, nil
+}
+
+// Complete reports, for each wanted Meta, whether the store holds a
+// verifying checkpoint for exactly that identity. It is Scan folded against
+// a unit plan — what a coordinator asks before dispatching work.
+func (s *Store) Complete(metas []Meta) ([]bool, error) {
+	entries, err := s.Scan()
+	if err != nil {
+		return nil, err
+	}
+	have := make(map[Meta]bool, len(entries))
+	for _, e := range entries {
+		if e.State == ScanComplete {
+			have[e.Meta] = true
+		}
+	}
+	out := make([]bool, len(metas))
+	for i, m := range metas {
+		out[i] = have[m]
+	}
+	return out, nil
+}
+
+// Verify checks a raw checkpoint frame (a whole file's bytes) and returns
+// the identity it binds. ok is false for torn or corrupt frames.
+func Verify(data []byte) (m Meta, ok bool) {
+	m, _, err := decode(data)
+	return m, err == nil
+}
+
+// AdoptResult says what AdoptFrame did with a frame.
+type AdoptResult int
+
+const (
+	// Adopted: the frame verified and was written under its canonical name.
+	Adopted AdoptResult = iota
+	// AlreadyPresent: the store already held byte-identical content for the
+	// frame's identity; nothing was written.
+	AlreadyPresent
+	// RejectedTorn: the frame fails verification and was discarded.
+	RejectedTorn
+)
+
+// AdoptFrame merges one raw checkpoint frame (read from another run's
+// directory) into the store under its canonical name. Torn frames are
+// rejected. If the store already holds a checkpoint for the same identity,
+// the bytes must match exactly: work units are pure functions of their
+// Meta, so two honest runs can only ever produce identical frames — a
+// mismatch means one side is corrupt in a CRC-colliding way or the purity
+// contract is broken, and the merge must stop rather than guess.
+func (s *Store) AdoptFrame(data []byte) (Meta, AdoptResult, error) {
+	m, ok := Verify(data)
+	if !ok {
+		return Meta{}, RejectedTorn, nil
+	}
+	existing, err := os.ReadFile(s.path(m))
+	if err == nil {
+		if _, eok := Verify(existing); eok {
+			if bytes.Equal(existing, data) {
+				return m, AlreadyPresent, nil
+			}
+			return m, RejectedTorn, fmt.Errorf(
+				"checkpoint: adopt %s shard %d: store already holds different bytes for the same identity (purity violation or undetected corruption)",
+				m.Experiment, m.Shard)
+		}
+		// Existing file is torn: the incoming verified frame replaces it.
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return m, RejectedTorn, fmt.Errorf("checkpoint: adopt: %w", err)
+	}
+	if err := atomicio.WriteFile(s.path(m), data, 0o644); err != nil {
+		return m, RejectedTorn, fmt.Errorf("checkpoint: adopt %s shard %d: %w", m.Experiment, m.Shard, err)
+	}
+	return m, Adopted, nil
 }
 
 // Hash fingerprints a configuration as FNV-1a over its canonical string

@@ -193,3 +193,192 @@ func TestOpenRejectsEmptyDir(t *testing.T) {
 		t.Fatal("Open(\"\") succeeded")
 	}
 }
+
+// TestScanInventoriesCompleteAndTorn: Scan classifies every *.ckpt file in
+// the directory — verified frames carry their Meta, torn frames are
+// reported (not hidden) so a coordinator can count lost work.
+func TestScanInventoriesCompleteAndTorn(t *testing.T) {
+	dir := t.TempDir()
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := testMeta()
+	m2 := testMeta()
+	m2.Shard = 5
+	if err := st.Put(m1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(m2, []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the second file and drop an unrelated non-ckpt file.
+	if err := os.Truncate(st.Path(m2), 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := st.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("Scan found %d entries, want 2", len(entries))
+	}
+	var complete, torn int
+	for _, e := range entries {
+		switch e.State {
+		case checkpoint.ScanComplete:
+			complete++
+			if e.Meta != m1 {
+				t.Errorf("complete entry meta %+v, want %+v", e.Meta, m1)
+			}
+		case checkpoint.ScanTorn:
+			torn++
+			if e.Path != st.Path(m2) {
+				t.Errorf("torn entry path %s, want %s", e.Path, st.Path(m2))
+			}
+		}
+	}
+	if complete != 1 || torn != 1 {
+		t.Fatalf("complete=%d torn=%d, want 1/1", complete, torn)
+	}
+}
+
+// TestScanForeign: an entry recorded under a different config hash verifies
+// (it is a real checkpoint) but is foreign to this run's identity.
+func TestScanForeign(t *testing.T) {
+	st, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine := testMeta()
+	other := mine
+	other.ConfigHash = checkpoint.Hash("full", "seed=2")
+	if err := st.Put(other, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].State != checkpoint.ScanComplete {
+		t.Fatalf("entries = %+v, want one complete", entries)
+	}
+	if !entries[0].Foreign(mine) {
+		t.Error("different-config entry not classified foreign")
+	}
+	if entries[0].Foreign(other) {
+		t.Error("own entry classified foreign")
+	}
+}
+
+// TestComplete folds Scan against a unit plan: only exact-identity,
+// verifying checkpoints count as done.
+func TestComplete(t *testing.T) {
+	st, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas := make([]checkpoint.Meta, 4)
+	for i := range metas {
+		metas[i] = testMeta()
+		metas[i].Shard = i
+	}
+	if err := st.Put(metas[1], []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(metas[2], []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(st.Path(metas[2]), 3); err != nil {
+		t.Fatal(err)
+	}
+	done, err := st.Complete(metas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, false, false}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Errorf("Complete[%d] = %v, want %v", i, done[i], want[i])
+		}
+	}
+}
+
+// TestAdoptFrame: a verified frame from another directory merges under its
+// canonical name; torn frames are rejected; byte-identical duplicates are
+// no-ops; conflicting bytes for one identity are a hard error.
+func TestAdoptFrame(t *testing.T) {
+	src, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMeta()
+	if err := src.Put(m, []byte("result")); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := os.ReadFile(src.Path(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, res, err := dst.AdoptFrame(frame)
+	if err != nil || res != checkpoint.Adopted || got != m {
+		t.Fatalf("first adopt: meta=%+v res=%v err=%v", got, res, err)
+	}
+	if payload, ok, err := dst.Get(m); err != nil || !ok || !bytes.Equal(payload, []byte("result")) {
+		t.Fatalf("adopted checkpoint not readable: ok=%v err=%v payload=%q", ok, err, payload)
+	}
+
+	if _, res, err := dst.AdoptFrame(frame); err != nil || res != checkpoint.AlreadyPresent {
+		t.Fatalf("duplicate adopt: res=%v err=%v", res, err)
+	}
+
+	if _, res, err := dst.AdoptFrame(frame[:len(frame)-2]); err != nil || res != checkpoint.RejectedTorn {
+		t.Fatalf("torn adopt: res=%v err=%v", res, err)
+	}
+
+	// Same identity, different payload: purity violation must error loudly.
+	src2, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src2.Put(m, []byte("OTHER!")); err != nil {
+		t.Fatal(err)
+	}
+	conflict, err := os.ReadFile(src2.Path(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dst.AdoptFrame(conflict); err == nil {
+		t.Fatal("conflicting adopt did not error")
+	}
+
+	// A torn file already in the store is replaced by a verifying frame.
+	if err := os.Truncate(dst.Path(m), 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, res, err := dst.AdoptFrame(frame); err != nil || res != checkpoint.Adopted {
+		t.Fatalf("adopt over torn file: res=%v err=%v", res, err)
+	}
+}
+
+// TestFileBaseSharedStem pins that checkpoint, lease, and abort artifacts
+// can share one per-unit stem: Path is FileBase + ".ckpt".
+func TestFileBaseSharedStem(t *testing.T) {
+	st, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMeta()
+	if got, want := filepath.Base(st.Path(m)), m.FileBase()+".ckpt"; got != want {
+		t.Fatalf("Path base %q, want %q", got, want)
+	}
+}

@@ -115,6 +115,11 @@ type Scale struct {
 	// hash, RNG stream version) refuse units recorded under any other
 	// configuration.
 	Resume bool
+	// Track, when non-nil, observes each executed work unit starting
+	// (done=false) and durably finishing (done=true). cmd/experiments wires
+	// it to the in-flight tracker behind the hard-kill aborted markers; it
+	// never influences results and is excluded from the config hash.
+	Track func(m checkpoint.Meta, done bool)
 }
 
 // engine returns the worker pool the experiment's trial shards execute on.

@@ -23,31 +23,44 @@ func MissQueueSecurity(sc Scale) *Table {
 	return t
 }
 
-// MissQueueSecurityCtx is the resumable MissQueueSecurity. Its work unit is
-// one miss-queue size's full measurements-to-success search (the same
-// cell-granularity reasoning as Table3Ctx: the search's early exit couples
+// missQueueSizes is the experiment's miss-queue axis.
+var missQueueSizes = []int{2, 4, 8}
+
+// missQueuePlan is MissQueueSecurity's work-unit plan: one miss-queue
+// size's full measurements-to-success search per unit (the same
+// cell-granularity reasoning as table3Plan: the search's early exit couples
 // its shards, so the completed SearchResult is what checkpoints).
+func missQueuePlan(sc Scale) unitPlan[attacks.SearchResult] {
+	sizes := missQueueSizes
+	eng := sc.engine()
+	return unitPlan[attacks.SearchResult]{
+		exp:  "MissQueueSecurity",
+		n:    len(sizes),
+		seed: func(int) uint64 { return sc.Seed },
+		run: func(ctx context.Context, i int) (attacks.SearchResult, error) {
+			cfg := attacks.CollisionConfig{Sim: sim.DefaultConfig(), Seed: sc.Seed}
+			cfg.Sim.MissQueue = sizes[i]
+			return attacks.MeasurementsToSuccessShardedCtx(ctx, eng, cfg, sc.AttackBatch, sc.AttackMaxSamples, parexp.Shards)
+		},
+		marshal: func(r attacks.SearchResult) ([]byte, error) { return r.MarshalBinary() },
+		unmarshal: func(data []byte) (attacks.SearchResult, error) {
+			var r attacks.SearchResult
+			err := r.UnmarshalBinary(data)
+			return r, err
+		},
+	}
+}
+
+// MissQueueSecurityCtx is the resumable MissQueueSecurity; missQueuePlan
+// describes its units.
 func MissQueueSecurityCtx(ctx context.Context, sc Scale) (*Table, error) {
 	t := &Table{
 		Title: "Section V.A: miss queue size vs collision attack progress",
 		Headers: []string{"miss queue entries", "sigma_T (cycles)",
 			"pairs recovered", "outcome"},
 	}
-	sizes := []int{2, 4, 8}
-	eng := sc.engine()
-	results, err := runShards(ctx, sc, "MissQueueSecurity", len(sizes),
-		func(int) uint64 { return sc.Seed },
-		func(ctx context.Context, i int) (attacks.SearchResult, error) {
-			cfg := attacks.CollisionConfig{Sim: sim.DefaultConfig(), Seed: sc.Seed}
-			cfg.Sim.MissQueue = sizes[i]
-			return attacks.MeasurementsToSuccessShardedCtx(ctx, eng, cfg, sc.AttackBatch, sc.AttackMaxSamples, parexp.Shards)
-		},
-		func(r attacks.SearchResult) ([]byte, error) { return r.MarshalBinary() },
-		func(data []byte) (attacks.SearchResult, error) {
-			var r attacks.SearchResult
-			err := r.UnmarshalBinary(data)
-			return r, err
-		})
+	sizes := missQueueSizes
+	results, err := runShards(ctx, sc, missQueuePlan(sc))
 	if err != nil {
 		return nil, err
 	}

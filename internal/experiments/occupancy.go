@@ -103,6 +103,31 @@ func occupancyCell(sc Scale, d securecache.Design, seed uint64) occCell {
 	}
 }
 
+// occupancyPlan is OccupancyMatrix's work-unit plan: one registered
+// secure-cache design's full cell per unit. Per-unit seeds derive from the
+// master seed through a dedicated stream, so cells are independent pure
+// functions of (Scale, index).
+func occupancyPlan(sc Scale) unitPlan[occCell] {
+	designs := securecache.All()
+	seedFor := func(i int) uint64 {
+		return rng.New(sc.Seed ^ 0x0cc9).SplitSeed(uint64(i + 1))
+	}
+	return unitPlan[occCell]{
+		exp:  "OccupancyMatrix",
+		n:    len(designs),
+		seed: seedFor,
+		run: func(_ context.Context, i int) (occCell, error) {
+			return occupancyCell(sc, designs[i], seedFor(i)), nil
+		},
+		marshal: func(c occCell) ([]byte, error) { return c.MarshalBinary() },
+		unmarshal: func(data []byte) (occCell, error) {
+			var c occCell
+			err := c.UnmarshalBinary(data)
+			return c, err
+		},
+	}
+}
+
 // OccupancyMatrix is the non-resumable entry point (panics on error).
 func OccupancyMatrix(sc Scale) *Table {
 	t, err := OccupancyMatrixCtx(context.Background(), sc)
@@ -120,22 +145,7 @@ func OccupancyMatrix(sc Scale) *Table {
 // byte-identical across worker counts and across kill/resume boundaries.
 func OccupancyMatrixCtx(ctx context.Context, sc Scale) (*Table, error) {
 	designs := securecache.All()
-	// Per-unit seeds derive from the master seed through a dedicated
-	// stream, so cells are independent pure functions of (Scale, index).
-	seedFor := func(i int) uint64 {
-		return rng.New(sc.Seed ^ 0x0cc9).SplitSeed(uint64(i + 1))
-	}
-	cells, err := runShards(ctx, sc, "OccupancyMatrix", len(designs),
-		seedFor,
-		func(_ context.Context, i int) (occCell, error) {
-			return occupancyCell(sc, designs[i], seedFor(i)), nil
-		},
-		func(c occCell) ([]byte, error) { return c.MarshalBinary() },
-		func(data []byte) (occCell, error) {
-			var c occCell
-			err := c.UnmarshalBinary(data)
-			return c, err
-		})
+	cells, err := runShards(ctx, sc, occupancyPlan(sc))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"sync"
+	"testing"
+
+	"randfill/internal/checkpoint"
+)
+
+// resumableNames are the experiments that must expose a work-unit plan.
+var resumableNames = []string{"Figure2", "Table3", "MissQueueSecurity", "OccupancyMatrix", "PolicyMatrix"}
+
+// TestPlanForCoversExactlyTheResumables: every resumable experiment has a
+// plan with sane identities; nothing else does.
+func TestPlanForCoversExactlyTheResumables(t *testing.T) {
+	sc := tinyScale()
+	for _, name := range resumableNames {
+		p, ok := PlanFor(name, sc)
+		if !ok {
+			t.Errorf("PlanFor(%q) = false, want a plan", name)
+			continue
+		}
+		if p.Name != name || p.Units <= 0 {
+			t.Errorf("PlanFor(%q) = {Name:%q Units:%d}", name, p.Name, p.Units)
+		}
+		hash := sc.configHash(name)
+		for i := 0; i < p.Units; i++ {
+			m := p.Meta(i)
+			if m.Experiment != name || m.Shard != i || m.ConfigHash != hash {
+				t.Errorf("%s unit %d meta = %+v", name, i, m)
+			}
+		}
+		// Case-insensitive like ByName.
+		if _, ok := PlanFor(name, sc); !ok {
+			t.Errorf("PlanFor(%q) case-folded lookup failed", name)
+		}
+	}
+	for _, name := range []string{"Figure5", "Defenses", "NoSuchExperiment"} {
+		if _, ok := PlanFor(name, sc); ok {
+			t.Errorf("PlanFor(%q) returned a plan for a non-resumable", name)
+		}
+	}
+}
+
+// TestPlanForUnitsMatchInProcessRun: executing units through WorkPlan.RunUnit
+// (the fabric worker's path) writes checkpoints byte-identical to the ones
+// the in-process runShards driver writes — the invariant the whole
+// distributed fabric's correctness rests on.
+func TestPlanForUnitsMatchInProcessRun(t *testing.T) {
+	for _, name := range []string{"Figure2", "OccupancyMatrix"} {
+		t.Run(name, func(t *testing.T) {
+			sc := tinyScale()
+			e, ok := ByName(name)
+			if !ok {
+				t.Fatal("experiment not registered")
+			}
+
+			// In-process checkpointing run.
+			soloDir := t.TempDir()
+			soloStore, _ := openStore(t, soloDir)
+			scSolo := sc
+			scSolo.Checkpoint = soloStore
+			if _, err := e.Run(context.Background(), scSolo); err != nil {
+				t.Fatal(err)
+			}
+
+			// Unit-at-a-time run through the exported plan.
+			plan, ok := PlanFor(name, sc)
+			if !ok {
+				t.Fatal("no plan")
+			}
+			planDir := t.TempDir()
+			planStore, _ := openStore(t, planDir)
+			for i := 0; i < plan.Units; i++ {
+				if err := plan.RunUnit(context.Background(), i, planStore); err != nil {
+					t.Fatalf("unit %d: %v", i, err)
+				}
+			}
+
+			soloFiles, planFiles := ckptFiles(t, soloDir), ckptFiles(t, planDir)
+			if len(soloFiles) != plan.Units || len(planFiles) != plan.Units {
+				t.Fatalf("file counts: solo %d, plan %d, want %d", len(soloFiles), len(planFiles), plan.Units)
+			}
+			for i := 0; i < plan.Units; i++ {
+				m := plan.Meta(i)
+				want, err := os.ReadFile(soloStore.Path(m))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := os.ReadFile(planStore.Path(m))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("unit %d: plan-run checkpoint differs from in-process run", i)
+				}
+			}
+		})
+	}
+}
+
+// TestTrackObservesExecutedUnitsOnly: the Track hook sees each executed
+// unit start and finish, and stays silent for restored units.
+func TestTrackObservesExecutedUnitsOnly(t *testing.T) {
+	sc := tinyScale()
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	sc.Checkpoint = st
+
+	type obs struct {
+		m    checkpoint.Meta
+		done bool
+	}
+	var mu sync.Mutex
+	var seen []obs
+	sc.Track = func(m checkpoint.Meta, done bool) {
+		mu.Lock()
+		seen = append(seen, obs{m, done})
+		mu.Unlock()
+	}
+	e, _ := ByName("Figure2")
+	if _, err := e.Run(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+	starts, finishes := 0, 0
+	for _, o := range seen {
+		if o.m.Experiment != "Figure2" {
+			t.Errorf("tracked foreign unit %+v", o.m)
+		}
+		if o.done {
+			finishes++
+		} else {
+			starts++
+		}
+	}
+	if starts != 8 || finishes != 8 {
+		t.Fatalf("tracked %d starts, %d finishes; want 8 each", starts, finishes)
+	}
+
+	// A fully-restored resume run executes nothing and tracks nothing.
+	seen = nil
+	sc.Resume = true
+	if _, err := e.Run(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 0 {
+		t.Fatalf("restored run tracked %d events, want 0", len(seen))
+	}
+}

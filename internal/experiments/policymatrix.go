@@ -64,6 +64,32 @@ func policyCell(sc Scale, pol string, d securecache.Design, seed uint64) occCell
 	}
 }
 
+// policyPlan is PolicyMatrix's work-unit plan: one (policy, design) cell
+// per unit, policy-major in registry order. Per-unit seeds derive from the
+// master seed through a dedicated stream (distinct from OccupancyMatrix's
+// 0x0cc9), so cells are independent pure functions of (Scale, index).
+func policyPlan(sc Scale) unitPlan[occCell] {
+	policies := cache.PolicyNames()
+	designs := securecache.All()
+	seedFor := func(i int) uint64 {
+		return rng.New(sc.Seed ^ 0x9011c).SplitSeed(uint64(i + 1))
+	}
+	return unitPlan[occCell]{
+		exp:  "PolicyMatrix",
+		n:    len(policies) * len(designs),
+		seed: seedFor,
+		run: func(_ context.Context, i int) (occCell, error) {
+			return policyCell(sc, policies[i/len(designs)], designs[i%len(designs)], seedFor(i)), nil
+		},
+		marshal: func(c occCell) ([]byte, error) { return c.MarshalBinary() },
+		unmarshal: func(data []byte) (occCell, error) {
+			var c occCell
+			err := c.UnmarshalBinary(data)
+			return c, err
+		},
+	}
+}
+
 // PolicyMatrix is the non-resumable entry point (panics on error).
 func PolicyMatrix(sc Scale) *Table {
 	t, err := PolicyMatrixCtx(context.Background(), sc)
@@ -83,24 +109,7 @@ func PolicyMatrix(sc Scale) *Table {
 func PolicyMatrixCtx(ctx context.Context, sc Scale) (*Table, error) {
 	policies := cache.PolicyNames()
 	designs := securecache.All()
-	n := len(policies) * len(designs)
-	// Per-unit seeds derive from the master seed through a dedicated stream
-	// (distinct from OccupancyMatrix's 0x0cc9), so cells are independent
-	// pure functions of (Scale, index).
-	seedFor := func(i int) uint64 {
-		return rng.New(sc.Seed ^ 0x9011c).SplitSeed(uint64(i + 1))
-	}
-	cells, err := runShards(ctx, sc, "PolicyMatrix", n,
-		seedFor,
-		func(_ context.Context, i int) (occCell, error) {
-			return policyCell(sc, policies[i/len(designs)], designs[i%len(designs)], seedFor(i)), nil
-		},
-		func(c occCell) ([]byte, error) { return c.MarshalBinary() },
-		func(data []byte) (occCell, error) {
-			var c occCell
-			err := c.UnmarshalBinary(data)
-			return c, err
-		})
+	cells, err := runShards(ctx, sc, policyPlan(sc))
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"randfill/internal/checkpoint"
 	"randfill/internal/parexp"
@@ -29,12 +30,37 @@ func (sc Scale) configHash(exp string) uint64 {
 	)
 }
 
-// runShards executes n independent work units of one experiment with
-// optional checkpointing, and is the primitive every resumable experiment
-// is built on. Unit i's result must be a pure function of (sc, i) — never
-// of worker count or of other units — which is what makes the recovery
-// story simple: a unit either completed (its checkpoint holds the exact
-// accumulator bytes) or it didn't (it re-runs from scratch).
+// unitPlan is one resumable experiment's fixed work-unit plan: n units,
+// each a pure function of (Scale, i) with an exact binary codec. It is the
+// single description behind both execution paths — the in-process runShards
+// driver and, type-erased through PlanFor, the multi-process fabric — so a
+// unit computes identical bytes no matter which path ran it.
+type unitPlan[T any] struct {
+	exp       string
+	n         int
+	seed      func(i int) uint64
+	run       func(ctx context.Context, i int) (T, error)
+	marshal   func(T) ([]byte, error)
+	unmarshal func([]byte) (T, error)
+}
+
+// meta is unit i's checkpoint identity under sc.
+func (p unitPlan[T]) meta(sc Scale, hash uint64, i int) checkpoint.Meta {
+	return checkpoint.Meta{
+		Experiment:    p.exp,
+		Shard:         i,
+		Seed:          p.seed(i),
+		ConfigHash:    hash,
+		StreamVersion: rng.StreamVersion,
+	}
+}
+
+// runShards executes a unitPlan's independent work units with optional
+// checkpointing, and is the primitive every resumable experiment is built
+// on. Unit i's result must be a pure function of (sc, i) — never of worker
+// count or of other units — which is what makes the recovery story simple:
+// a unit either completed (its checkpoint holds the exact accumulator
+// bytes) or it didn't (it re-runs from scratch).
 //
 // With sc.Checkpoint set, each unit is flushed through the store the moment
 // it completes, inside the worker, so a cancellation or crash between units
@@ -43,27 +69,18 @@ func (sc Scale) configHash(exp string) uint64 {
 // matches) are not re-run; torn, corrupt, or mismatched checkpoints read as
 // missing and the unit re-runs. Results are returned in unit order
 // regardless of which were restored.
-func runShards[T any](ctx context.Context, sc Scale, exp string, n int,
-	seed func(i int) uint64,
-	run func(ctx context.Context, i int) (T, error),
-	marshal func(T) ([]byte, error),
-	unmarshal func([]byte) (T, error),
-) ([]T, error) {
-	hash := sc.configHash(exp)
-	meta := func(i int) checkpoint.Meta {
-		return checkpoint.Meta{
-			Experiment:    exp,
-			Shard:         i,
-			Seed:          seed(i),
-			ConfigHash:    hash,
-			StreamVersion: rng.StreamVersion,
-		}
-	}
+//
+// sc.Track, when set, observes each executed unit starting and durably
+// finishing (restored units are never reported): the hook behind the
+// hard-kill path's best-effort aborted markers.
+func runShards[T any](ctx context.Context, sc Scale, p unitPlan[T]) ([]T, error) {
+	hash := sc.configHash(p.exp)
+	meta := func(i int) checkpoint.Meta { return p.meta(sc, hash, i) }
 
-	out := make([]T, n)
-	restored := make([]bool, n)
+	out := make([]T, p.n)
+	restored := make([]bool, p.n)
 	if sc.Checkpoint != nil && sc.Resume {
-		for i := 0; i < n; i++ {
+		for i := 0; i < p.n; i++ {
 			payload, ok, err := sc.Checkpoint.Get(meta(i))
 			if err != nil {
 				return nil, err
@@ -71,7 +88,7 @@ func runShards[T any](ctx context.Context, sc Scale, exp string, n int,
 			if !ok {
 				continue
 			}
-			v, err := unmarshal(payload)
+			v, err := p.unmarshal(payload)
 			if err != nil {
 				continue // undecodable payload: treat as missing, re-run
 			}
@@ -80,7 +97,7 @@ func runShards[T any](ctx context.Context, sc Scale, exp string, n int,
 		}
 	}
 	var missing []int
-	for i := 0; i < n; i++ {
+	for i := 0; i < p.n; i++ {
 		if !restored[i] {
 			missing = append(missing, i)
 		}
@@ -90,13 +107,16 @@ func runShards[T any](ctx context.Context, sc Scale, exp string, n int,
 	}
 	err := sc.engine().ForEachCtx(ctx, len(missing), func(ctx context.Context, k int) error {
 		i := missing[k]
-		v, err := run(ctx, i)
+		if sc.Track != nil {
+			sc.Track(meta(i), false)
+		}
+		v, err := p.run(ctx, i)
 		if err != nil {
 			return err
 		}
 		out[i] = v
 		if sc.Checkpoint != nil {
-			data, err := marshal(v)
+			data, err := p.marshal(v)
 			if err != nil {
 				return err
 			}
@@ -104,10 +124,72 @@ func runShards[T any](ctx context.Context, sc Scale, exp string, n int,
 				return err
 			}
 		}
+		if sc.Track != nil {
+			sc.Track(meta(i), true)
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// WorkPlan is a type-erased unitPlan: the shape internal/fabric schedules
+// across processes. RunUnit executes one unit and publishes exactly one
+// checkpoint through store; it is the same computation runShards performs
+// for that unit, so a fabric run's store is byte-identical to a solo run's.
+type WorkPlan struct {
+	// Name is the experiment name as registered in All().
+	Name string
+	// Units is the number of independent work units.
+	Units int
+	// Meta returns unit i's checkpoint identity.
+	Meta func(i int) checkpoint.Meta
+	// RunUnit computes unit i and flushes it through store.
+	RunUnit func(ctx context.Context, i int, store *checkpoint.Store) error
+}
+
+// exportPlan type-erases a unitPlan for the fabric.
+func exportPlan[T any](sc Scale, p unitPlan[T]) WorkPlan {
+	hash := sc.configHash(p.exp)
+	meta := func(i int) checkpoint.Meta { return p.meta(sc, hash, i) }
+	return WorkPlan{
+		Name:  p.exp,
+		Units: p.n,
+		Meta:  meta,
+		RunUnit: func(ctx context.Context, i int, store *checkpoint.Store) error {
+			v, err := p.run(ctx, i)
+			if err != nil {
+				return err
+			}
+			data, err := p.marshal(v)
+			if err != nil {
+				return err
+			}
+			return store.Put(meta(i), data)
+		},
+	}
+}
+
+// PlanFor returns the named resumable experiment's work-unit plan under sc.
+// Only the resumable experiments (the ones whose registry entries honor
+// Scale.Checkpoint) have plans; ok is false for every other name. Every
+// process in a fabric derives the plan from the same (name, Scale), so
+// unit identities agree everywhere — a lease whose identity doesn't match
+// is foreign and is refused, not guessed at.
+func PlanFor(name string, sc Scale) (WorkPlan, bool) {
+	switch {
+	case strings.EqualFold(name, "Figure2"):
+		return exportPlan(sc, figure2Plan(sc)), true
+	case strings.EqualFold(name, "Table3"):
+		return exportPlan(sc, table3Plan(sc)), true
+	case strings.EqualFold(name, "MissQueueSecurity"):
+		return exportPlan(sc, missQueuePlan(sc)), true
+	case strings.EqualFold(name, "OccupancyMatrix"):
+		return exportPlan(sc, occupancyPlan(sc)), true
+	case strings.EqualFold(name, "PolicyMatrix"):
+		return exportPlan(sc, policyPlan(sc)), true
+	}
+	return WorkPlan{}, false
 }

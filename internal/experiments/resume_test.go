@@ -29,11 +29,22 @@ func openStore(t *testing.T, dir string) (*checkpoint.Store, *countingHooks) {
 	return st, h
 }
 
+// ckptFiles lists every checkpoint file (complete or torn) via the store's
+// own Scan, so the tests and the production inventory agree on what counts
+// as a checkpoint file.
 func ckptFiles(t *testing.T, dir string) []string {
 	t.Helper()
-	names, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	st, err := checkpoint.Open(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	entries, err := st.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Path)
 	}
 	return names
 }

@@ -44,32 +44,43 @@ func Figure2(sc Scale) *Table {
 	return t
 }
 
-// Figure2Ctx is the resumable Figure2. Its work units are the collision
-// attack's parexp.Shards measurement shards — the same fixed plan
+// figure2Plan is Figure2's work-unit plan: the collision attack's
+// parexp.Shards measurement shards — the same fixed plan
 // attacks.CollectSharded runs — so each checkpoint holds one shard's full
 // CollisionStats and the final merge (in shard-index order) is
-// byte-identical whether the shards came from this run or a prior one.
-func Figure2Ctx(ctx context.Context, sc Scale) (*Table, error) {
+// byte-identical whether the shards came from this run, a prior one, or
+// another process's.
+func figure2Plan(sc Scale) unitPlan[*attacks.CollisionStats] {
 	cfg := attacks.CollisionConfig{
 		Sim:  attackerSim(),
 		Seed: sc.Seed,
 	}
-	atks := attacks.NewShards(cfg, parexp.Shards)
 	counts := parexp.SplitCounts(sc.Figure2Samples, parexp.Shards)
-	states, err := runShards(ctx, sc, "Figure2", parexp.Shards,
-		func(i int) uint64 { return attacks.ShardSeed(cfg, i) },
-		func(_ context.Context, i int) (*attacks.CollisionStats, error) {
-			atks[i].Collect(counts[i])
-			return atks[i].Stats(), nil
+	return unitPlan[*attacks.CollisionStats]{
+		exp:  "Figure2",
+		n:    parexp.Shards,
+		seed: func(i int) uint64 { return attacks.ShardSeed(cfg, i) },
+		run: func(_ context.Context, i int) (*attacks.CollisionStats, error) {
+			// Each unit builds its own shard attacker: a unit is a pure
+			// function of (sc, i) even when another process runs it alone.
+			atk := attacks.NewShards(cfg, parexp.Shards)[i]
+			atk.Collect(counts[i])
+			return atk.Stats(), nil
 		},
-		func(s *attacks.CollisionStats) ([]byte, error) { return s.MarshalBinary() },
-		func(data []byte) (*attacks.CollisionStats, error) {
+		marshal: func(s *attacks.CollisionStats) ([]byte, error) { return s.MarshalBinary() },
+		unmarshal: func(data []byte) (*attacks.CollisionStats, error) {
 			s := &attacks.CollisionStats{}
 			if err := s.UnmarshalBinary(data); err != nil {
 				return nil, err
 			}
 			return s, nil
-		})
+		},
+	}
+}
+
+// Figure2Ctx is the resumable Figure2; figure2Plan describes its units.
+func Figure2Ctx(ctx context.Context, sc Scale) (*Table, error) {
+	states, err := runShards(ctx, sc, figure2Plan(sc))
 	if err != nil {
 		return nil, err
 	}
@@ -195,14 +206,40 @@ func Table3(sc Scale) *Table {
 	return t
 }
 
-// Table3Ctx is the resumable Table III. Its work unit is one cell — a
+// table3Sizes is Table III's window-size axis.
+var table3Sizes = []int{1, 2, 4, 8, 16, 32}
+
+// table3Plan is Table III's work-unit plan. Its unit is one cell — a
 // (base cache, window size) pair's Monte Carlo counts plus its
 // measurements-to-success search. A cell is the smallest independently
 // re-runnable unit: the search stops at the first successful round, and
 // that stopping point depends on all of the cell's shards at every round
 // boundary, so checkpointing below cell granularity would mean serializing
 // mid-stream RNG positions (see DESIGN.md). All cells still run
-// concurrently, each itself sharded, and restore in (base, size) order.
+// concurrently, each itself sharded.
+func table3Plan(sc Scale) unitPlan[t3cell] {
+	bases := table3Bases()
+	sizes := table3Sizes
+	eng := sc.engine()
+	return unitPlan[t3cell]{
+		exp:  "Table3",
+		n:    len(bases) * len(sizes),
+		seed: func(int) uint64 { return sc.Seed },
+		run: func(ctx context.Context, i int) (t3cell, error) {
+			base := bases[i/len(sizes)]
+			return table3Cell(ctx, sc, eng, base.mk, base.kind, sizes[i%len(sizes)])
+		},
+		marshal: func(c t3cell) ([]byte, error) { return c.MarshalBinary() },
+		unmarshal: func(data []byte) (t3cell, error) {
+			var c t3cell
+			err := c.UnmarshalBinary(data)
+			return c, err
+		},
+	}
+}
+
+// Table3Ctx is the resumable Table III; table3Plan describes its units,
+// which restore in (base, size) order.
 func Table3Ctx(ctx context.Context, sc Scale) (*Table, error) {
 	t := &Table{
 		Title: "Table III: P1-P2 and measurements for a successful collision attack",
@@ -210,20 +247,8 @@ func Table3Ctx(ctx context.Context, sc Scale) (*Table, error) {
 			"Eq.5 estimate"},
 	}
 	bases := table3Bases()
-	sizes := []int{1, 2, 4, 8, 16, 32}
-	eng := sc.engine()
-	cells, err := runShards(ctx, sc, "Table3", len(bases)*len(sizes),
-		func(int) uint64 { return sc.Seed },
-		func(ctx context.Context, i int) (t3cell, error) {
-			base := bases[i/len(sizes)]
-			return table3Cell(ctx, sc, eng, base.mk, base.kind, sizes[i%len(sizes)])
-		},
-		func(c t3cell) ([]byte, error) { return c.MarshalBinary() },
-		func(data []byte) (t3cell, error) {
-			var c t3cell
-			err := c.UnmarshalBinary(data)
-			return c, err
-		})
+	sizes := table3Sizes
+	cells, err := runShards(ctx, sc, table3Plan(sc))
 	if err != nil {
 		return nil, err
 	}

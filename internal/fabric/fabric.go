@@ -1,0 +1,134 @@
+// Package fabric is the multi-process experiment coordinator layered on the
+// checkpoint store: a fleet of worker processes executes one experiment's
+// work units, with a single coordinator handing units out through
+// CRC-framed lease files. There is no network stack — the shared filesystem
+// (the fabric directory) is the bus, and every file that crosses a process
+// boundary goes through internal/atomicio, so a crash at any instant leaves
+// either a complete artifact or a verifiably torn one.
+//
+// Robustness model — workers that die, stall, or double-claim must only
+// ever cost work, never correctness:
+//
+//   - A unit lease names its owner, a generation, and a deadline. Workers
+//     renew their leases (heartbeat); a lease whose deadline passes without
+//     renewal is expired and the coordinator re-dispatches the unit with
+//     the next (strictly higher) generation after an exponential backoff.
+//   - Generation fencing: a revoked straggler discovers the newer
+//     generation at its next renewal or at checkpoint-publish time. Its
+//     late checkpoint write is discarded — or accepted if and only if it is
+//     byte-identical to what the store already holds, which the determinism
+//     contract (a unit is a pure function of its Meta) guarantees for
+//     honest runs. A same-identity checkpoint with *different* bytes is a
+//     purity violation and fails the run loudly.
+//   - Torn or corrupt lease files read as absent (same discipline as torn
+//     checkpoints): the coordinator simply re-leases the unit. Corruption
+//     costs work, never correctness.
+//   - A second coordinator on a live fabric directory refuses to start; on
+//     an expired one it fences the old coordinator by taking over with a
+//     higher epoch and a generation counter strictly above every lease the
+//     old coordinator could have issued.
+//   - The final output is rendered from the checkpoint store alone (the
+//     resume path), so the merged table is byte-identical to a
+//     single-process run regardless of which worker computed which unit,
+//     how many died, or how often units were re-dispatched.
+//
+// Directory layout under the fabric dir F:
+//
+//	F/ckpt/                 the shared checkpoint.Store (one file per unit)
+//	F/ckpt/aborted/         best-effort markers for units in flight when a
+//	                        worker was hard-killed; re-dispatched first
+//	F/leases/<unit>.lease   current lease for a unit (atomic rename replaces)
+//	F/workers/<id>.lease    worker registration heartbeats
+//	F/coordinator.lease     the coordinator's own lease: epoch + the
+//	                        persisted generation counter
+//	F/done                  written when every unit has a verified checkpoint
+//
+// DESIGN.md §14 documents the protocol, frame format, and exit codes.
+package fabric
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Clock abstracts wall-clock reads so tests (and the clock-skew fault) can
+// shift a process's notion of time. Lease deadlines are wall-clock times:
+// the fabric is a robustness layer, not a results layer — no simulator or
+// experiment state ever depends on these reads, which is why the one
+// time.Now call below carries a lint suppression instead of feeding
+// internal/rng.
+type Clock func() time.Time
+
+// SystemClock reads the real wall clock.
+func SystemClock() Clock {
+	return func() time.Time {
+		//lint:ignore detrand lease deadlines are wall-clock by nature; they schedule work and never feed simulator or experiment state
+		return time.Now()
+	}
+}
+
+// SkewedClock reads the real wall clock offset by skew — the clock-skew
+// fault plan, and nothing else, uses it.
+func SkewedClock(skew time.Duration) Clock {
+	base := SystemClock()
+	return func() time.Time { return base().Add(skew) }
+}
+
+// Layout resolves the fabric directory's fixed structure.
+type Layout struct{ Root string }
+
+// CheckpointDir is the shared store directory.
+func (l Layout) CheckpointDir() string { return filepath.Join(l.Root, "ckpt") }
+
+// LeaseDir holds the per-unit lease files.
+func (l Layout) LeaseDir() string { return filepath.Join(l.Root, "leases") }
+
+// WorkerDir holds worker registration heartbeats.
+func (l Layout) WorkerDir() string { return filepath.Join(l.Root, "workers") }
+
+// CoordinatorLease is the coordinator's own lease file.
+func (l Layout) CoordinatorLease() string { return filepath.Join(l.Root, "coordinator.lease") }
+
+// DonePath is the all-units-complete marker.
+func (l Layout) DonePath() string { return filepath.Join(l.Root, "done") }
+
+// UnitLease is the lease file for one unit.
+func (l Layout) UnitLease(base string) string {
+	return filepath.Join(l.LeaseDir(), base+".lease")
+}
+
+// WorkerLease is worker id's registration file.
+func (l Layout) WorkerLease(id string) string {
+	return filepath.Join(l.WorkerDir(), sanitizeID(id)+".lease")
+}
+
+// Prepare creates the fabric directory tree.
+func (l Layout) Prepare() error {
+	for _, d := range []string{l.Root, l.CheckpointDir(), l.LeaseDir(), l.WorkerDir(), AbortDir(l.CheckpointDir())} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Done reports whether the done marker exists.
+func (l Layout) Done() bool {
+	_, err := os.Stat(l.DonePath())
+	return err == nil
+}
+
+// sanitizeID maps a worker/coordinator id to a safe file-name fragment.
+func sanitizeID(id string) string {
+	out := make([]rune, 0, len(id))
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,841 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"randfill/internal/checkpoint"
+)
+
+// testClock is a manually advanced clock shared by every process-in-a-test;
+// nothing in these tests reads the wall clock, so lease expiry is exact.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func testPayload(name string, i int) []byte {
+	return bytes.Repeat([]byte(fmt.Sprintf("payload-%s-%d|", name, i)), 4)
+}
+
+// testPlan is a pure fake plan: unit i writes testPayload(name, i).
+func testPlan(name string, units int) Plan {
+	meta := func(i int) checkpoint.Meta {
+		return checkpoint.Meta{
+			Experiment: name, Shard: i,
+			Seed: 42 + uint64(i), ConfigHash: 0xfab1234, StreamVersion: 1,
+		}
+	}
+	return Plan{
+		Name:  name,
+		Units: units,
+		Meta:  meta,
+		RunUnit: func(ctx context.Context, i int, store *checkpoint.Store) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return store.Put(meta(i), testPayload(name, i))
+		},
+	}
+}
+
+func openStore(t *testing.T, dir string) *checkpoint.Store {
+	t.Helper()
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	return st
+}
+
+func TestLeaseRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "u.lease")
+	want := Lease{
+		Kind: KindUnit, Owner: "worker-3", Generation: 17,
+		Deadline: 123456789, Counter: 99,
+		Unit: checkpoint.Meta{Experiment: "Figure2", Shard: 5, Seed: 7, ConfigHash: 0xdead, StreamVersion: 2},
+	}
+	if err := writeLease(path, want, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := readLease(path)
+	if err != nil || !ok {
+		t.Fatalf("readLease: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestTornLeaseReadsAsAbsent is satellite 3's torn-file case: truncated,
+// bit-flipped, garbage, and empty lease files must all read as absent —
+// never as an error, never as a lease.
+func TestTornLeaseReadsAsAbsent(t *testing.T) {
+	dir := t.TempDir()
+	valid := encodeLease(Lease{Kind: KindUnit, Owner: "w", Generation: 3, Deadline: 10})
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", valid[:len(valid)-3]},
+		{"bitflip", append(append([]byte{}, valid[:20]...), valid[20]^0x40)},
+		{"garbage", []byte("not a lease at all")},
+		{"empty", []byte{}},
+		{"badmagic", append([]byte("WRONGMAG"), valid[8:]...)},
+	}
+	for _, tc := range cases {
+		name, data := tc.name, tc.data
+		path := filepath.Join(dir, name+".lease")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, ok, err := readLease(path)
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", name, err)
+		}
+		if ok {
+			t.Errorf("%s: torn lease read as present: %+v", name, l)
+		}
+	}
+	// A missing file is equally absent.
+	if _, ok, err := readLease(filepath.Join(dir, "missing.lease")); ok || err != nil {
+		t.Errorf("missing: ok=%v err=%v, want absent", ok, err)
+	}
+}
+
+// TestSecondCoordinatorRefuses is satellite 3's two-coordinators case: a
+// second coordinator on a fabric dir with a live coordinator lease must
+// refuse with ErrCoordinatorHeld.
+func TestSecondCoordinatorRefuses(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{Root: dir}
+	if err := layout.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	clk := newTestClock()
+	if err := writeLease(layout.CoordinatorLease(), Lease{
+		Kind: KindCoordinator, Owner: "coord-A", Generation: 4,
+		Deadline: clk.Now().Add(time.Hour).UnixNano(), Counter: 31,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg := CoordinatorConfig{Dir: dir, ID: "coord-B", TTL: time.Hour, Poll: time.Millisecond, Clock: clk.Now}
+	_, _, err := acquireCoordinator(layout, cfg, clk.Now)
+	if !errors.Is(err, ErrCoordinatorHeld) {
+		t.Fatalf("second coordinator: got err %v, want ErrCoordinatorHeld", err)
+	}
+	// RunCoordinator surfaces the same refusal.
+	if _, err := RunCoordinator(context.Background(), CoordinatorConfig{
+		Dir: dir, ID: "coord-B", Plan: testPlan("X", 1),
+		Store: openStore(t, layout.CheckpointDir()),
+		TTL:   time.Hour, Poll: time.Millisecond, Clock: clk.Now,
+	}); !errors.Is(err, ErrCoordinatorHeld) {
+		t.Fatalf("RunCoordinator: got err %v, want ErrCoordinatorHeld", err)
+	}
+}
+
+// TestCoordinatorTakesOverExpired: an expired coordinator lease is fenced
+// by taking the next epoch while continuing the generation counter.
+func TestCoordinatorTakesOverExpired(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{Root: dir}
+	if err := layout.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	clk := newTestClock()
+	if err := writeLease(layout.CoordinatorLease(), Lease{
+		Kind: KindCoordinator, Owner: "coord-A", Generation: 4,
+		Deadline: clk.Now().Add(-time.Second).UnixNano(), Counter: 31,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg := CoordinatorConfig{Dir: dir, ID: "coord-B", TTL: time.Hour, Poll: time.Millisecond, Clock: clk.Now}
+	epoch, counter, err := acquireCoordinator(layout, cfg, clk.Now)
+	if err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+	if epoch != 5 {
+		t.Errorf("epoch = %d, want 5 (predecessor's 4 + 1)", epoch)
+	}
+	if counter != 31 {
+		t.Errorf("counter = %d, want 31 carried over", counter)
+	}
+	// A torn coordinator lease reads as absent: takeover from epoch 0.
+	if err := os.WriteFile(layout.CoordinatorLease(), []byte("torn!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	epoch, counter, err = acquireCoordinator(layout, cfg, clk.Now)
+	if err != nil || epoch != 1 || counter != 0 {
+		t.Errorf("torn coordinator lease: epoch=%d counter=%d err=%v, want 1, 0, nil", epoch, counter, err)
+	}
+}
+
+// TestExpiredThenRenewedRace is satellite 3's race case: a lease expires,
+// but its holder renews (same generation) before the coordinator's backoff
+// elapses. The coordinator must honor the revived lease — expiry is
+// resolved by generation, not by the deadline alone.
+func TestExpiredThenRenewedRace(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{Root: dir}
+	if err := layout.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	clk := newTestClock()
+	plan := testPlan("Race", 1)
+	meta := plan.Meta(0)
+	leasePath := layout.UnitLease(meta.FileBase())
+	store := openStore(t, layout.CheckpointDir())
+
+	cfg := CoordinatorConfig{
+		Dir: dir, ID: "coord", Plan: plan, Store: store,
+		TTL: time.Minute, Poll: time.Second,
+		BackoffBase: 10 * time.Second, MaxPerWorker: 2, Clock: clk.Now,
+	}
+	// Live worker registration so dispatch has a target.
+	if err := writeLease(layout.WorkerLease("w1"), Lease{
+		Kind: KindWorker, Owner: "w1", Deadline: clk.Now().Add(time.Hour).UnixNano(),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The unit's lease was issued at generation 7 and has expired.
+	if err := writeLease(leasePath, Lease{
+		Kind: KindUnit, Owner: "w1", Generation: 7,
+		Deadline: clk.Now().Add(-time.Second).UnixNano(), Unit: meta,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	st := coordState{issued: []uint64{7}, attempts: []int{1}, expiredSince: []time.Time{{}}}
+	counter := uint64(7)
+	var res CoordinatorResult
+	metas := plan.Metas()
+
+	// Tick 1: coordinator observes the expiry but backoff gates re-dispatch.
+	if err := dispatchTick(context.Background(), cfg, layout, clk.Now, metas, []bool{false}, &st, &counter, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatched != 0 {
+		t.Fatalf("dispatched during backoff window: %+v", res)
+	}
+	if st.expiredSince[0].IsZero() {
+		t.Fatal("expiry not recorded")
+	}
+
+	// The straggler renews at its original generation before backoff ends.
+	if err := writeLease(leasePath, Lease{
+		Kind: KindUnit, Owner: "w1", Generation: 7,
+		Deadline: clk.Now().Add(time.Minute).UnixNano(), Unit: meta,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tick 2 (even past the backoff): the lease is live again at a
+	// generation >= issued, so the coordinator must not re-dispatch.
+	clk.Advance(15 * time.Second)
+	if err := writeLease(leasePath, Lease{
+		Kind: KindUnit, Owner: "w1", Generation: 7,
+		Deadline: clk.Now().Add(time.Minute).UnixNano(), Unit: meta,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dispatchTick(context.Background(), cfg, layout, clk.Now, metas, []bool{false}, &st, &counter, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatched != 0 || counter != 7 {
+		t.Fatalf("revived lease re-dispatched: res=%+v counter=%d", res, counter)
+	}
+	if !st.expiredSince[0].IsZero() {
+		t.Error("expiry mark not cleared after revival")
+	}
+}
+
+// TestExpiredLeaseRedispatchedWithBackoff: without a renewal, an expired
+// lease is re-dispatched at a strictly higher generation, but only after
+// the exponential backoff elapses.
+func TestExpiredLeaseRedispatchedWithBackoff(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{Root: dir}
+	if err := layout.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	clk := newTestClock()
+	plan := testPlan("Backoff", 1)
+	meta := plan.Meta(0)
+	store := openStore(t, layout.CheckpointDir())
+	cfg := CoordinatorConfig{
+		Dir: dir, ID: "coord", Plan: plan, Store: store,
+		TTL: time.Minute, Poll: time.Second,
+		BackoffBase: 10 * time.Second, MaxPerWorker: 2, Clock: clk.Now,
+	}
+	if err := writeLease(layout.WorkerLease("w1"), Lease{
+		Kind: KindWorker, Owner: "w1", Deadline: clk.Now().Add(time.Hour).UnixNano(),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	leasePath := layout.UnitLease(meta.FileBase())
+	if err := writeLease(leasePath, Lease{
+		Kind: KindUnit, Owner: "w1", Generation: 3,
+		Deadline: clk.Now().Add(-time.Second).UnixNano(), Unit: meta,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	st := coordState{issued: []uint64{3}, attempts: []int{1}, expiredSince: []time.Time{{}}}
+	counter := uint64(3)
+	var res CoordinatorResult
+	metas := plan.Metas()
+	tick := func() {
+		t.Helper()
+		if err := dispatchTick(context.Background(), cfg, layout, clk.Now, metas, []bool{false}, &st, &counter, &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tick() // observes expiry, starts backoff
+	if res.Dispatched != 0 {
+		t.Fatalf("re-dispatched before backoff: %+v", res)
+	}
+	clk.Advance(5 * time.Second) // backoff(1) = 10s not yet elapsed
+	tick()
+	if res.Dispatched != 0 {
+		t.Fatalf("re-dispatched mid-backoff: %+v", res)
+	}
+	clk.Advance(6 * time.Second) // 11s > 10s
+	tick()
+	if res.Dispatched != 1 || res.Redispatched != 1 {
+		t.Fatalf("expected one re-dispatch: %+v", res)
+	}
+	l, ok, _ := readLease(leasePath)
+	if !ok || l.Generation != 4 || l.Owner != "w1" {
+		t.Fatalf("re-dispatched lease = %+v ok=%v, want gen 4", l, ok)
+	}
+	if st.attempts[0] != 2 {
+		t.Errorf("attempts = %d, want 2", st.attempts[0])
+	}
+	// The second backoff is doubled: 20s.
+	if got := cfg.backoff(2); got != 20*time.Second {
+		t.Errorf("backoff(2) = %v, want 20s", got)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	cfg := CoordinatorConfig{BackoffBase: time.Second, BackoffMax: 10 * time.Second}
+	wants := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second, 10 * time.Second, 10 * time.Second}
+	for i, want := range wants {
+		if got := cfg.backoff(i + 1); got != want {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+	// Defaults: base = Poll, max = 8*base.
+	d := CoordinatorConfig{Poll: 50 * time.Millisecond}
+	if got := d.backoff(1); got != 50*time.Millisecond {
+		t.Errorf("default backoff(1) = %v", got)
+	}
+	if got := d.backoff(20); got != 400*time.Millisecond {
+		t.Errorf("default backoff cap = %v, want 400ms", got)
+	}
+}
+
+// flipLease is an inner hook that rewrites the unit's lease between the
+// fence's BeforePut check and the write — the narrowest possible window for
+// the revoked-straggler race.
+type flipLease struct {
+	path  string
+	lease Lease
+}
+
+func (h flipLease) BeforePut(checkpoint.Meta) error {
+	return writeLease(h.path, h.lease, nil)
+}
+func (h flipLease) AfterPut(checkpoint.Meta, string) {}
+
+// TestFencedPutRefused: a straggler whose lease was already re-issued is
+// vetoed before writing anything.
+func TestFencedPutRefused(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{Root: dir}
+	if err := layout.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	plan := testPlan("Fence", 1)
+	meta := plan.Meta(0)
+	leasePath := layout.UnitLease(meta.FileBase())
+	store := openStore(t, layout.CheckpointDir())
+
+	// The lease on disk is generation 9 for another worker.
+	if err := writeLease(leasePath, Lease{Kind: KindUnit, Owner: "other", Generation: 9, Deadline: 1 << 62, Unit: meta}, nil); err != nil {
+		t.Fatal(err)
+	}
+	fence := &fenceHooks{store: store}
+	store.Hooks = fence
+	fence.arm(leasePath, "straggler", 7)
+
+	err := store.Put(meta, testPayload("Fence", 0))
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced put: err = %v, want ErrFenced", err)
+	}
+	if !fence.Fenced() {
+		t.Error("Fenced() = false after veto")
+	}
+	if _, err := os.Stat(store.Path(meta)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("vetoed put left a checkpoint file")
+	}
+}
+
+// TestFencedPutDiscardedMidWrite: the lease flips while the write is in
+// flight; with no prior checkpoint the late write must be removed.
+func TestFencedPutDiscardedMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{Root: dir}
+	if err := layout.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	plan := testPlan("Fence", 1)
+	meta := plan.Meta(0)
+	leasePath := layout.UnitLease(meta.FileBase())
+	store := openStore(t, layout.CheckpointDir())
+
+	if err := writeLease(leasePath, Lease{Kind: KindUnit, Owner: "straggler", Generation: 7, Deadline: 1 << 62, Unit: meta}, nil); err != nil {
+		t.Fatal(err)
+	}
+	fence := &fenceHooks{
+		store: store,
+		inner: flipLease{path: leasePath, lease: Lease{Kind: KindUnit, Owner: "other", Generation: 9, Deadline: 1 << 62, Unit: meta}},
+	}
+	store.Hooks = fence
+	fence.arm(leasePath, "straggler", 7)
+
+	if err := store.Put(meta, testPayload("Fence", 0)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if !fence.Fenced() {
+		t.Fatal("mid-write fence not detected")
+	}
+	if _, err := os.Stat(store.Path(meta)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("late write not discarded")
+	}
+}
+
+// TestFencedPutAcceptedIffByteIdentical: the same mid-write fence, but the
+// store already holds the byte-identical checkpoint — the write is
+// accepted (it changed nothing), and a *different*-bytes late write is
+// rolled back to the published frame.
+func TestFencedPutAcceptedIffByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{Root: dir}
+	if err := layout.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	plan := testPlan("Fence", 1)
+	meta := plan.Meta(0)
+	leasePath := layout.UnitLease(meta.FileBase())
+	store := openStore(t, layout.CheckpointDir())
+
+	// Publish the canonical frame first (no fencing).
+	if err := store.Put(meta, testPayload("Fence", 0)); err != nil {
+		t.Fatal(err)
+	}
+	published, err := os.ReadFile(store.Path(meta))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := writeLease(leasePath, Lease{Kind: KindUnit, Owner: "straggler", Generation: 7, Deadline: 1 << 62, Unit: meta}, nil); err != nil {
+		t.Fatal(err)
+	}
+	fence := &fenceHooks{
+		store: store,
+		inner: flipLease{path: leasePath, lease: Lease{Kind: KindUnit, Owner: "other", Generation: 9, Deadline: 1 << 62, Unit: meta}},
+	}
+	store.Hooks = fence
+
+	// Identical bytes: accepted.
+	fence.arm(leasePath, "straggler", 7)
+	if err := store.Put(meta, testPayload("Fence", 0)); err != nil {
+		t.Fatalf("identical fenced put: %v", err)
+	}
+	got, _ := os.ReadFile(store.Path(meta))
+	if !bytes.Equal(got, published) {
+		t.Error("identical fenced put changed the published frame")
+	}
+
+	// Different bytes (a buggy straggler): rolled back to the published
+	// frame, not merged.
+	if err := writeLease(leasePath, Lease{Kind: KindUnit, Owner: "straggler", Generation: 7, Deadline: 1 << 62, Unit: meta}, nil); err != nil {
+		t.Fatal(err)
+	}
+	fence.arm(leasePath, "straggler", 7)
+	if err := store.Put(meta, []byte("divergent result")); err != nil {
+		t.Fatalf("divergent fenced put: %v", err)
+	}
+	if !fence.Fenced() {
+		t.Fatal("divergent fenced put not detected")
+	}
+	got, _ = os.ReadFile(store.Path(meta))
+	if !bytes.Equal(got, published) {
+		t.Error("divergent late write survived; published frame not restored")
+	}
+}
+
+// TestPurityViolationDetected: overwriting a verified checkpoint with
+// different verified bytes, while still holding the lease, is a loud error.
+func TestPurityViolationDetected(t *testing.T) {
+	store := openStore(t, t.TempDir())
+	plan := testPlan("Pure", 1)
+	meta := plan.Meta(0)
+	fence := &fenceHooks{store: store}
+	store.Hooks = fence
+
+	fence.arm("", "", 0) // no lease: solo-style put, purity check only
+	if err := store.Put(meta, testPayload("Pure", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if v := fence.Violation(); v != nil {
+		t.Fatalf("first put flagged: %v", v)
+	}
+	if err := store.Put(meta, testPayload("Pure", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if v := fence.Violation(); v != nil {
+		t.Fatalf("identical overwrite flagged: %v", v)
+	}
+	if err := store.Put(meta, []byte("different bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if v := fence.Violation(); !errors.Is(v, ErrPurity) {
+		t.Fatalf("divergent overwrite: violation = %v, want ErrPurity", v)
+	}
+}
+
+// TestStaleClobberRedispatch: a stale straggler renewal overwrites a
+// higher-generation lease (last-writer-wins on the filesystem). The
+// coordinator's issued[] watermark detects the regression and re-issues
+// above its counter.
+func TestStaleClobberRedispatch(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{Root: dir}
+	if err := layout.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	clk := newTestClock()
+	plan := testPlan("Clobber", 1)
+	meta := plan.Meta(0)
+	store := openStore(t, layout.CheckpointDir())
+	cfg := CoordinatorConfig{
+		Dir: dir, ID: "coord", Plan: plan, Store: store,
+		TTL: time.Minute, Poll: time.Second,
+		BackoffBase: 10 * time.Second, MaxPerWorker: 2, Clock: clk.Now,
+	}
+	if err := writeLease(layout.WorkerLease("w1"), Lease{
+		Kind: KindWorker, Owner: "w1", Deadline: clk.Now().Add(time.Hour).UnixNano(),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Coordinator issued generation 8; a stale gen-5 renewal clobbered it
+	// with a fresh deadline.
+	leasePath := layout.UnitLease(meta.FileBase())
+	if err := writeLease(leasePath, Lease{
+		Kind: KindUnit, Owner: "dead-worker", Generation: 5,
+		Deadline: clk.Now().Add(time.Minute).UnixNano(), Unit: meta,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := coordState{issued: []uint64{8}, attempts: []int{2}, expiredSince: []time.Time{{}}}
+	counter := uint64(8)
+	var res CoordinatorResult
+	// Tick 1 observes the generation regression (clobbered lease is treated
+	// as dead even though its deadline is fresh); tick 2, after backoff(2) =
+	// 20s elapses, re-issues above the watermark.
+	if err := dispatchTick(context.Background(), cfg, layout, clk.Now, plan.Metas(), []bool{false}, &st, &counter, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatched != 0 {
+		t.Fatalf("clobbered lease re-dispatched before backoff: %+v", res)
+	}
+	clk.Advance(21 * time.Second)
+	if err := dispatchTick(context.Background(), cfg, layout, clk.Now, plan.Metas(), []bool{false}, &st, &counter, &res); err != nil {
+		t.Fatal(err)
+	}
+	l, ok, _ := readLease(leasePath)
+	if !ok || l.Generation != 9 {
+		t.Fatalf("clobbered lease not re-issued: %+v ok=%v, want gen 9", l, ok)
+	}
+}
+
+// TestAbortedUnitsDispatchFirst: units with aborted markers jump the queue.
+func TestAbortedUnitsDispatchFirst(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{Root: dir}
+	if err := layout.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	clk := newTestClock()
+	plan := testPlan("Abort", 4)
+	store := openStore(t, layout.CheckpointDir())
+	cfg := CoordinatorConfig{
+		Dir: dir, ID: "coord", Plan: plan, Store: store,
+		TTL: time.Minute, Poll: time.Second, MaxPerWorker: 1, Clock: clk.Now,
+	}
+	if err := writeLease(layout.WorkerLease("w1"), Lease{
+		Kind: KindWorker, Owner: "w1", Deadline: clk.Now().Add(time.Hour).UnixNano(),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Unit 2 was in flight when its worker was hard-killed.
+	tracker := NewInFlight("dead")
+	tracker.Observe(plan.Meta(2), false)
+	tracker.WriteAborted(store.Dir())
+
+	st := coordState{issued: make([]uint64, 4), attempts: make([]int, 4), expiredSince: make([]time.Time, 4)}
+	counter := uint64(0)
+	var res CoordinatorResult
+	// With MaxPerWorker=1 only one unit can be dispatched this tick; it
+	// must be the aborted one, not unit 0.
+	if err := dispatchTick(context.Background(), cfg, layout, clk.Now, plan.Metas(), make([]bool, 4), &st, &counter, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatched != 1 || res.AbortedFirst != 1 {
+		t.Fatalf("res = %+v, want exactly the aborted unit dispatched", res)
+	}
+	l, ok, _ := readLease(layout.UnitLease(plan.Meta(2).FileBase()))
+	if !ok || l.Owner != "w1" {
+		t.Fatalf("aborted unit 2 not leased first: %+v ok=%v", l, ok)
+	}
+}
+
+// TestWorkerRefusesForeignLease: a lease whose unit identity does not match
+// the worker's plan (different config hash) is never claimed.
+func TestWorkerRefusesForeignLease(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{Root: dir}
+	if err := layout.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	plan := testPlan("Foreign", 2)
+	store := openStore(t, layout.CheckpointDir())
+	foreign := plan.Meta(0)
+	foreign.ConfigHash ^= 0xff // someone else's run
+	if err := writeLease(layout.UnitLease(foreign.FileBase()), Lease{
+		Kind: KindUnit, Owner: "w1", Generation: 1, Deadline: 1 << 62, Unit: foreign,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := claimable(layout, plan, "w1", store); err != nil || ok {
+		t.Fatalf("foreign lease claimed: ok=%v err=%v", ok, err)
+	}
+	// The matching identity is claimable.
+	if err := writeLease(layout.UnitLease(plan.Meta(1).FileBase()), Lease{
+		Kind: KindUnit, Owner: "w1", Generation: 2, Deadline: 1 << 62, Unit: plan.Meta(1),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	idx, l, ok, err := claimable(layout, plan, "w1", store)
+	if err != nil || !ok || idx != 1 || l.Generation != 2 {
+		t.Fatalf("own lease not claimed: idx=%d l=%+v ok=%v err=%v", idx, l, ok, err)
+	}
+}
+
+// TestEndToEndInProcess runs a coordinator and two workers as goroutines
+// over one fabric dir and checks the store ends up byte-identical to a
+// solo run of the same plan.
+func TestEndToEndInProcess(t *testing.T) {
+	const units = 6
+	plan := testPlan("E2E", units)
+
+	// Solo reference run.
+	soloDir := t.TempDir()
+	solo := openStore(t, soloDir)
+	for i := 0; i < units; i++ {
+		if err := plan.RunUnit(context.Background(), i, solo); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := t.TempDir()
+	layout := Layout{Root: dir}
+	clk := newTestClock()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	workerErr := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, workerErr[w] = RunWorker(ctx, WorkerConfig{
+				Dir: dir, ID: fmt.Sprintf("w%d", w), Plan: plan,
+				Store: openStore(t, layout.CheckpointDir()),
+				TTL:   time.Minute, Poll: 5 * time.Millisecond, Clock: clk.Now,
+			})
+		}(w)
+	}
+	res, err := RunCoordinator(ctx, CoordinatorConfig{
+		Dir: dir, ID: "coord", Plan: plan,
+		Store: openStore(t, layout.CheckpointDir()),
+		TTL:   time.Minute, Poll: 5 * time.Millisecond, Clock: clk.Now,
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	wg.Wait()
+	for w, err := range workerErr {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if res.Dispatched < units {
+		t.Errorf("dispatched %d < %d units", res.Dispatched, units)
+	}
+	if !layout.Done() {
+		t.Error("done marker missing")
+	}
+
+	// Byte-identical store.
+	fabricStore := openStore(t, layout.CheckpointDir())
+	for i := 0; i < units; i++ {
+		m := plan.Meta(i)
+		want, err := os.ReadFile(solo.Path(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(fabricStore.Path(m))
+		if err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("unit %d: fabric checkpoint differs from solo run", i)
+		}
+	}
+	// Completed units' leases were cleaned up.
+	for i := 0; i < units; i++ {
+		if _, err := os.Stat(layout.UnitLease(plan.Meta(i).FileBase())); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("unit %d lease not cleaned up", i)
+		}
+	}
+}
+
+// TestJoinMergesPartialRuns: two disjoint (plus overlapping) partial stores
+// join into a store byte-identical to a full run; a same-identity
+// different-bytes conflict aborts.
+func TestJoinMergesPartialRuns(t *testing.T) {
+	const units = 4
+	plan := testPlan("Join", units)
+
+	full := openStore(t, t.TempDir())
+	for i := 0; i < units; i++ {
+		if err := plan.RunUnit(context.Background(), i, full); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Partial run A has units 0..2, partial run B has 2..3 (unit 2 overlaps).
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, b := openStore(t, dirA), openStore(t, dirB)
+	for i := 0; i <= 2; i++ {
+		if err := plan.RunUnit(context.Background(), i, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 2; i < units; i++ {
+		if err := plan.RunUnit(context.Background(), i, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A torn file in B must be skipped, not adopted.
+	if err := os.WriteFile(filepath.Join(dirB, "torn.ckpt"), []byte("shred"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := openStore(t, t.TempDir())
+	rep, err := Join(dst, []string{dirA, dirB})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if rep.Adopted != units || rep.AlreadyPresent != 1 || rep.TornSkipped != 1 {
+		t.Errorf("report = %+v, want %d adopted, 1 already present, 1 torn skipped", rep, units)
+	}
+	for i := 0; i < units; i++ {
+		m := plan.Meta(i)
+		want, _ := os.ReadFile(full.Path(m))
+		got, err := os.ReadFile(dst.Path(m))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Errorf("unit %d: joined store differs from full run (err=%v)", i, err)
+		}
+	}
+
+	// Conflict: same identity, different verified bytes.
+	evil := openStore(t, t.TempDir())
+	if err := evil.Put(plan.Meta(0), []byte("divergent")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Join(dst, []string{evil.Dir()}); err == nil {
+		t.Fatal("conflicting join did not fail")
+	}
+
+	// A fabric root resolves to its ckpt/ subdirectory.
+	fabDir := t.TempDir()
+	fl := Layout{Root: fabDir}
+	if err := fl.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	fs := openStore(t, fl.CheckpointDir())
+	if err := plan.RunUnit(context.Background(), 0, fs); err != nil {
+		t.Fatal(err)
+	}
+	dst2 := openStore(t, t.TempDir())
+	rep, err = Join(dst2, []string{fabDir})
+	if err != nil || rep.Adopted != 1 {
+		t.Fatalf("fabric-root join: rep=%+v err=%v", rep, err)
+	}
+}
+
+// TestAbortedMarkerLifecycle covers WriteAborted/ScanAborted/ClearAborted.
+func TestAbortedMarkerLifecycle(t *testing.T) {
+	storeDir := t.TempDir()
+	plan := testPlan("Markers", 3)
+	tr := NewInFlight("w9")
+	tr.Observe(plan.Meta(1), false)
+	tr.Observe(plan.Meta(2), false)
+	tr.Observe(plan.Meta(2), true) // finished before the kill
+	tr.WriteAborted(storeDir)
+
+	got := ScanAborted(storeDir)
+	if len(got) != 1 || got[0] != plan.Meta(1) {
+		t.Fatalf("ScanAborted = %+v, want exactly unit 1", got)
+	}
+	// Torn markers are skipped.
+	if err := os.WriteFile(filepath.Join(AbortDir(storeDir), "torn.aborted"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := ScanAborted(storeDir); len(got) != 1 {
+		t.Fatalf("torn marker not skipped: %+v", got)
+	}
+	ClearAborted(storeDir, plan.Meta(1))
+	if got := ScanAborted(storeDir); len(got) != 0 {
+		t.Fatalf("marker not cleared: %+v", got)
+	}
+}

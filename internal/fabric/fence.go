@@ -1,0 +1,131 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+
+	"randfill/internal/atomicio"
+	"randfill/internal/checkpoint"
+)
+
+// ErrFenced reports a checkpoint write refused or discarded because the
+// writer's lease generation is no longer current — the coordinator revoked
+// the lease and re-dispatched the unit. Fencing costs the straggler its
+// work; it never costs the run correctness.
+var ErrFenced = errors.New("fabric: lease lost (generation fenced)")
+
+// ErrPurity reports two verifying checkpoints with the same identity but
+// different bytes. Work units are pure functions of their Meta, so this can
+// only mean CRC-colliding corruption or a broken determinism contract —
+// either way the run must stop rather than merge a guess.
+var ErrPurity = errors.New("fabric: same-identity checkpoints with different bytes (purity violation)")
+
+// fenceHooks wraps a checkpoint store's Hooks with generation fencing for
+// one worker. Before each Put it verifies the worker still holds the unit's
+// lease; after each Put it re-checks and, if the lease was lost mid-write,
+// discards the write — or accepts it iff it is byte-identical to what the
+// store already held. It also cross-checks every overwrite of a verifying
+// checkpoint for byte-identity, turning silent purity violations into loud
+// errors.
+//
+// A worker runs one unit at a time, so the per-unit fields are plain; the
+// worker calls arm() before each unit's Put.
+type fenceHooks struct {
+	inner checkpoint.Hooks
+	store *checkpoint.Store
+
+	// Per-unit arming.
+	leasePath string
+	owner     string
+	gen       uint64
+
+	// Per-put state.
+	stash    []byte // pre-put file bytes (nil if absent)
+	stashOK  bool   // stash verifies as a checkpoint frame
+	fenced   bool
+	violated error
+}
+
+var _ checkpoint.Hooks = (*fenceHooks)(nil)
+
+// arm points the hooks at the lease guarding the next Put.
+func (f *fenceHooks) arm(leasePath, owner string, gen uint64) {
+	f.leasePath, f.owner, f.gen = leasePath, owner, gen
+	f.fenced, f.violated = false, nil
+}
+
+// holds reports whether the armed lease is still this worker's at this
+// generation. A torn or absent lease does not veto: the checkpoint frame's
+// own CRC plus the byte-identity rule still guarantee correctness, and
+// refusing on a torn lease would turn best-effort damage into lost work.
+func (f *fenceHooks) holds() bool {
+	l, ok, err := readLease(f.leasePath)
+	if err != nil || !ok {
+		return true
+	}
+	return l.Kind == KindUnit && l.Owner == f.owner && l.Generation == f.gen
+}
+
+func (f *fenceHooks) BeforePut(m checkpoint.Meta) error {
+	f.stash, f.stashOK = nil, false
+	if data, err := os.ReadFile(f.store.Path(m)); err == nil {
+		f.stash = data
+		_, f.stashOK = checkpoint.Verify(data)
+	}
+	if f.leasePath != "" && !f.holds() {
+		f.fenced = true
+		return ErrFenced
+	}
+	if f.inner != nil {
+		return f.inner.BeforePut(m)
+	}
+	return nil
+}
+
+func (f *fenceHooks) AfterPut(m checkpoint.Meta, path string) {
+	if f.inner != nil {
+		// Fault hooks run first: a kill-after-puts plan exits here, exactly
+		// as it would without fencing.
+		f.inner.AfterPut(m, path)
+	}
+	cur, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	_, curOK := checkpoint.Verify(cur)
+
+	if f.leasePath != "" && !f.holds() {
+		// The lease was lost while the write was in flight.
+		f.fenced = true
+		switch {
+		case f.stashOK && bytes.Equal(f.stash, cur):
+			// Byte-identical to the checkpoint that was already published:
+			// the write is accepted (it changed nothing).
+		case f.stashOK:
+			// Restore the prior verified checkpoint; our late write is
+			// discarded. Best-effort: a failed restore leaves our verified
+			// frame, which the purity rule still validates.
+			_ = atomicio.WriteFile(path, f.stash, 0o644)
+		default:
+			// No prior checkpoint to preserve: discard ours so the unit's
+			// rightful owner publishes the recorded result. Best-effort: a
+			// surviving frame is still CRC-valid and byte-identical by purity.
+			_ = os.Remove(path)
+		}
+		return
+	}
+
+	// Still the rightful owner: if we overwrote a verifying checkpoint with
+	// different verifying bytes, the purity contract is broken.
+	if f.stashOK && curOK && !bytes.Equal(f.stash, cur) {
+		f.violated = fmt.Errorf("%w: %s shard %d", ErrPurity, m.Experiment, m.Shard)
+	}
+}
+
+// Fenced reports whether the last Put was refused or discarded by fencing.
+func (f *fenceHooks) Fenced() bool { return f.fenced }
+
+// Violation returns the purity error detected on the last Put, if any.
+func (f *fenceHooks) Violation() error { return f.violated }

@@ -1,0 +1,78 @@
+package fabric
+
+import (
+	"fmt"
+	"os"
+
+	"randfill/internal/checkpoint"
+)
+
+// JoinReport summarizes a Join.
+type JoinReport struct {
+	// Adopted counts frames copied into the destination store.
+	Adopted int
+	// AlreadyPresent counts frames the destination already held
+	// byte-identically.
+	AlreadyPresent int
+	// TornSkipped counts source files skipped as torn/corrupt.
+	TornSkipped int
+}
+
+// Join merges every complete checkpoint found in srcDirs into dst. Frames
+// are adopted verbatim (verified, then byte-compared against any existing
+// frame), so joining any set of partial runs of the same configuration
+// reproduces exactly the store a single run would have written — and with
+// it a byte-identical final table via the resume path. Two verifying
+// frames with the same identity but different bytes abort the join: that
+// is a purity violation, not something to merge silently.
+//
+// Source directories may be plain checkpoint dirs or fabric roots; a
+// fabric root is resolved to its ckpt/ subdirectory automatically.
+func Join(dst *checkpoint.Store, srcDirs []string) (JoinReport, error) {
+	var rep JoinReport
+	for _, dir := range srcDirs {
+		dir = resolveStoreDir(dir)
+		if _, err := os.Stat(dir); err != nil {
+			return rep, fmt.Errorf("fabric: join source %s: %w", dir, err)
+		}
+		src, err := checkpoint.Open(dir)
+		if err != nil {
+			return rep, err
+		}
+		entries, err := src.Scan()
+		if err != nil {
+			return rep, err
+		}
+		for _, e := range entries {
+			if e.State != checkpoint.ScanComplete {
+				rep.TornSkipped++
+				continue
+			}
+			data, err := os.ReadFile(e.Path)
+			if err != nil {
+				return rep, fmt.Errorf("fabric: join read %s: %w", e.Path, err)
+			}
+			_, result, err := dst.AdoptFrame(data)
+			if err != nil {
+				return rep, fmt.Errorf("fabric: join %s: %w", e.Path, err)
+			}
+			switch result {
+			case checkpoint.Adopted:
+				rep.Adopted++
+			case checkpoint.AlreadyPresent:
+				rep.AlreadyPresent++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// resolveStoreDir maps a fabric root to its checkpoint subdirectory; a
+// plain store directory passes through unchanged.
+func resolveStoreDir(dir string) string {
+	ckpt := Layout{Root: dir}.CheckpointDir()
+	if fi, err := os.Stat(ckpt); err == nil && fi.IsDir() {
+		return ckpt
+	}
+	return dir
+}

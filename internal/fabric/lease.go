@@ -1,0 +1,207 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"randfill/internal/atomicio"
+	"randfill/internal/checkpoint"
+)
+
+// leaseMagic opens every lease file; the trailing byte is the format
+// version. The frame mirrors the checkpoint store's:
+//
+//	magic[8] | bodyLen uint32 LE | crc32(IEEE, body) uint32 LE | body
+//
+// body: kind byte | uvarint len + Owner | Generation u64 LE | Deadline
+// (UnixNano) u64 LE | Counter u64 LE | unit identity (uvarint len +
+// Experiment | uvarint Shard | Seed u64 | ConfigHash u64 | uvarint
+// StreamVersion).
+//
+// A lease that fails magic, framing, or CRC verification reads as absent —
+// the same torn-file discipline as checkpoints: the coordinator issues a
+// fresh lease and the unit re-runs. Corruption costs work, never
+// correctness.
+var leaseMagic = [8]byte{'R', 'F', 'L', 'E', 'A', 'S', 'E', '1'}
+
+// LeaseKind distinguishes the three lease-framed artifacts.
+type LeaseKind byte
+
+const (
+	// KindUnit grants one work unit to one worker.
+	KindUnit LeaseKind = 1
+	// KindCoordinator is the coordinator's own lease over the fabric dir.
+	KindCoordinator LeaseKind = 2
+	// KindWorker is a worker's registration heartbeat.
+	KindWorker LeaseKind = 3
+	// KindAborted marks a unit that was in flight when its process was
+	// hard-killed; coordinators re-dispatch these first.
+	KindAborted LeaseKind = 4
+)
+
+// Lease is the decoded content of any lease-framed file.
+type Lease struct {
+	Kind LeaseKind
+	// Owner is the holding process's id (worker id or coordinator id).
+	Owner string
+	// Generation fences stale holders: only the lease file's current
+	// generation may renew or publish. The coordinator issues strictly
+	// increasing generations across all units from its persisted Counter.
+	Generation uint64
+	// Deadline is the wall-clock instant (UnixNano) the lease expires if
+	// not renewed.
+	Deadline int64
+	// Counter is the coordinator's next-generation watermark; meaningful
+	// only on KindCoordinator leases, where it persists across takeovers.
+	Counter uint64
+	// Unit identifies the leased work unit; zero for non-unit kinds.
+	Unit checkpoint.Meta
+}
+
+// Expired reports whether the lease's deadline has passed at now.
+func (l Lease) Expired(now time.Time) bool { return now.UnixNano() > l.Deadline }
+
+// encodeLease frames a lease for disk.
+func encodeLease(l Lease) []byte {
+	var body bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) { body.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	putU64 := func(v uint64) {
+		var u [8]byte
+		binary.LittleEndian.PutUint64(u[:], v)
+		body.Write(u[:])
+	}
+	body.WriteByte(byte(l.Kind))
+	putUvarint(uint64(len(l.Owner)))
+	body.WriteString(l.Owner)
+	putU64(l.Generation)
+	putU64(uint64(l.Deadline))
+	putU64(l.Counter)
+	putUvarint(uint64(len(l.Unit.Experiment)))
+	body.WriteString(l.Unit.Experiment)
+	putUvarint(uint64(l.Unit.Shard))
+	putU64(l.Unit.Seed)
+	putU64(l.Unit.ConfigHash)
+	putUvarint(uint64(l.Unit.StreamVersion))
+
+	out := make([]byte, 0, 16+body.Len())
+	out = append(out, leaseMagic[:]...)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(body.Len()))
+	out = append(out, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(body.Bytes()))
+	out = append(out, u32[:]...)
+	return append(out, body.Bytes()...)
+}
+
+// errTornLease is the generic verification failure; readers convert it to
+// "absent" so the unit re-leases.
+var errTornLease = errors.New("fabric: torn lease file")
+
+// decodeLease verifies the frame and returns the lease.
+func decodeLease(data []byte) (Lease, error) {
+	var l Lease
+	if len(data) < 16 || !bytes.Equal(data[:8], leaseMagic[:]) {
+		return l, errTornLease
+	}
+	bodyLen := binary.LittleEndian.Uint32(data[8:12])
+	sum := binary.LittleEndian.Uint32(data[12:16])
+	body := data[16:]
+	if uint32(len(body)) != bodyLen || crc32.ChecksumIEEE(body) != sum {
+		return l, errTornLease
+	}
+	r := bytes.NewReader(body)
+	kind, err := r.ReadByte()
+	if err != nil {
+		return l, errTornLease
+	}
+	l.Kind = LeaseKind(kind)
+	readStr := func() (string, error) {
+		n, err := binary.ReadUvarint(r)
+		if err != nil || n > uint64(r.Len()) {
+			return "", errTornLease
+		}
+		b := make([]byte, n)
+		if _, err := r.Read(b); err != nil {
+			return "", errTornLease
+		}
+		return string(b), nil
+	}
+	readU64 := func() (uint64, error) {
+		var u [8]byte
+		if _, err := r.Read(u[:]); err != nil || r.Len() < 0 {
+			return 0, errTornLease
+		}
+		return binary.LittleEndian.Uint64(u[:]), nil
+	}
+	if l.Owner, err = readStr(); err != nil {
+		return l, err
+	}
+	if l.Generation, err = readU64(); err != nil {
+		return l, err
+	}
+	dl, err := readU64()
+	if err != nil {
+		return l, err
+	}
+	l.Deadline = int64(dl)
+	if l.Counter, err = readU64(); err != nil {
+		return l, err
+	}
+	if l.Unit.Experiment, err = readStr(); err != nil {
+		return l, err
+	}
+	shard, err := binary.ReadUvarint(r)
+	if err != nil {
+		return l, errTornLease
+	}
+	l.Unit.Shard = int(shard)
+	if l.Unit.Seed, err = readU64(); err != nil {
+		return l, err
+	}
+	if l.Unit.ConfigHash, err = readU64(); err != nil {
+		return l, err
+	}
+	sv, err := binary.ReadUvarint(r)
+	if err != nil {
+		return l, errTornLease
+	}
+	l.Unit.StreamVersion = int(sv)
+	return l, nil
+}
+
+// readLease loads and verifies path. ok is false when the file does not
+// exist or is torn/corrupt — in both cases the lease is treated as absent.
+// The error return is reserved for real I/O failures.
+func readLease(path string) (Lease, bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return Lease{}, false, nil
+	}
+	if err != nil {
+		return Lease{}, false, fmt.Errorf("fabric: read lease %s: %w", path, err)
+	}
+	l, derr := decodeLease(data)
+	if derr != nil {
+		return Lease{}, false, nil // torn lease reads as absent
+	}
+	return l, true, nil
+}
+
+// writeLease atomically publishes a lease at path. afterWrite, when
+// non-nil, runs once the file is visible — the torn-lease fault injects
+// damage there, exactly like the checkpoint AfterPut hook.
+func writeLease(path string, l Lease, afterWrite func(path string)) error {
+	if err := atomicio.WriteFile(path, encodeLease(l), 0o644); err != nil {
+		return fmt.Errorf("fabric: write lease: %w", err)
+	}
+	if afterWrite != nil {
+		afterWrite(path)
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"randfill/internal/checkpoint"
+)
+
+// WorkerConfig configures one worker process (or in-process worker loop).
+type WorkerConfig struct {
+	// Dir is the fabric root directory.
+	Dir string
+	// ID is this worker's unique id (lease owner string).
+	ID string
+	// Plan enumerates and executes the experiment's units.
+	Plan Plan
+	// Store is the shared checkpoint store, opened on Layout.CheckpointDir.
+	// Any hooks already installed (fault plans) keep running under fencing.
+	Store *checkpoint.Store
+	// TTL is the lease duration the fabric runs on; renewals happen every
+	// TTL/3.
+	TTL time.Duration
+	// Poll is the idle re-scan interval.
+	Poll time.Duration
+	// IdleExit, when positive, makes the worker exit cleanly after going
+	// that long without finding work and without a done marker (covers a
+	// crashed coordinator).
+	IdleExit time.Duration
+	// Clock supplies wall-clock reads; nil means SystemClock. The
+	// clock-skew fault substitutes SkewedClock.
+	Clock Clock
+	// Track, when non-nil, observes unit start/finish for aborted markers.
+	Track *InFlight
+	// BeforeUnit runs before the worker's n-th claimed unit executes
+	// (1-based); the stall-worker fault sleeps here, before renewals start,
+	// so the lease expires naturally.
+	BeforeUnit func(n int)
+	// AfterUnit runs after the worker's n-th completed unit (1-based); the
+	// kill-worker fault exits the process here.
+	AfterUnit func(n int)
+	// AfterLeaseWrite runs after each lease renewal becomes visible; the
+	// torn-lease fault damages the file here.
+	AfterLeaseWrite func(path string)
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// WorkerResult summarizes a worker's run.
+type WorkerResult struct {
+	// Completed counts units this worker ran to a durable checkpoint.
+	Completed int
+	// Fenced counts units abandoned because the lease was revoked mid-run.
+	Fenced int
+	// Skipped counts claimed units that already had a verified checkpoint.
+	Skipped int
+}
+
+func (c WorkerConfig) clock() Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return SystemClock()
+}
+
+func (c WorkerConfig) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, "worker %s: "+format+"\n", append([]any{c.ID}, args...)...)
+	}
+}
+
+// RunWorker claims and executes unit leases addressed to cfg.ID until the
+// done marker appears, the context is canceled, or the idle timeout fires.
+// Fenced units are abandoned and counted, not fatal; a purity violation or
+// unit error is fatal.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerResult, error) {
+	var res WorkerResult
+	if cfg.TTL <= 0 || cfg.Poll <= 0 {
+		return res, errors.New("fabric: worker needs positive TTL and Poll")
+	}
+	layout := Layout{Root: cfg.Dir}
+	if err := layout.Prepare(); err != nil {
+		return res, err
+	}
+	clock := cfg.clock()
+
+	fence := &fenceHooks{inner: cfg.Store.Hooks, store: cfg.Store}
+	cfg.Store.Hooks = fence
+	defer func() { cfg.Store.Hooks = fence.inner }()
+
+	heartbeat := func() error {
+		now := clock()
+		return writeLease(layout.WorkerLease(cfg.ID), Lease{
+			Kind: KindWorker, Owner: cfg.ID,
+			Deadline: now.Add(cfg.TTL).UnixNano(),
+		}, cfg.AfterLeaseWrite)
+	}
+
+	var started int
+	idleSince := clock()
+	var lastBeat time.Time
+	for {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		now := clock()
+		if lastBeat.IsZero() || now.Sub(lastBeat) >= cfg.TTL/3 {
+			if err := heartbeat(); err != nil {
+				return res, err
+			}
+			lastBeat = now
+		}
+		if layout.Done() {
+			cfg.logf("done marker present; exiting")
+			return res, nil
+		}
+
+		idx, lease, ok, err := claimable(layout, cfg.Plan, cfg.ID, cfg.Store)
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			if cfg.IdleExit > 0 && clock().Sub(idleSince) >= cfg.IdleExit {
+				cfg.logf("idle for %v with no done marker; exiting", cfg.IdleExit)
+				return res, nil
+			}
+			sleepCtx(ctx, cfg.Poll)
+			continue
+		}
+		idleSince = clock()
+
+		meta := cfg.Plan.Meta(idx)
+		if _, ok, _ := cfg.Store.Get(meta); ok {
+			// Checkpointed between the claim scan and here (a redundant
+			// re-dispatch that another worker just finished): nothing to run.
+			res.Skipped++
+			sleepCtx(ctx, cfg.Poll)
+			continue
+		}
+
+		started++
+		if cfg.BeforeUnit != nil {
+			cfg.BeforeUnit(started)
+		}
+
+		leasePath := layout.UnitLease(meta.FileBase())
+		fence.arm(leasePath, cfg.ID, lease.Generation)
+		runErr := runLeasedUnit(ctx, cfg, layout, clock, idx, meta, lease)
+		fencedPut, violation := fence.Fenced(), fence.Violation()
+		fence.arm("", "", 0)
+		if violation != nil {
+			return res, violation
+		}
+		switch {
+		case fencedPut && runErr == nil:
+			// The put itself was discarded by fencing even though RunUnit
+			// returned success (an experiment layer that swallows the hook
+			// error would land here); the unit is not ours to count.
+			res.Fenced++
+			cfg.logf("unit %d write fenced at generation %d", idx, lease.Generation)
+		case runErr == nil:
+			res.Completed++
+			cfg.logf("unit %d complete (gen %d)", idx, lease.Generation)
+			if cfg.AfterUnit != nil {
+				cfg.AfterUnit(res.Completed)
+			}
+		case errors.Is(runErr, ErrFenced) || fencedPut:
+			res.Fenced++
+			cfg.logf("unit %d fenced at generation %d; abandoning", idx, lease.Generation)
+		case ctx.Err() != nil:
+			return res, ctx.Err()
+		default:
+			return res, fmt.Errorf("fabric: unit %d: %w", idx, runErr)
+		}
+	}
+}
+
+// claimable returns the lowest-indexed unit whose current lease names owner
+// and whose unit identity belongs to plan. Foreign leases (another run's
+// identities) are never claimed. Expired leases still count — renewing an
+// expired-but-unreissued lease revives it (the expired-then-renewed race is
+// resolved by generation, not by the deadline).
+func claimable(layout Layout, plan Plan, owner string, store *checkpoint.Store) (int, Lease, bool, error) {
+	entries, err := os.ReadDir(layout.LeaseDir())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, Lease{}, false, nil
+		}
+		return 0, Lease{}, false, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	best, bestIdx := Lease{}, -1
+	for _, name := range names {
+		l, ok, err := readLease(layout.UnitLease(trimLease(name)))
+		if err != nil {
+			return 0, Lease{}, false, err
+		}
+		if !ok || l.Kind != KindUnit || l.Owner != owner {
+			continue
+		}
+		idx := plan.unitIndex(l.Unit)
+		if idx < 0 {
+			continue // foreign lease: refuse rather than guess
+		}
+		if _, present, _ := store.Get(l.Unit); present {
+			continue // already checkpointed; the coordinator clears the lease
+		}
+		if bestIdx < 0 || idx < bestIdx {
+			best, bestIdx = l, idx
+		}
+	}
+	if bestIdx < 0 {
+		return 0, Lease{}, false, nil
+	}
+	return bestIdx, best, true, nil
+}
+
+func trimLease(name string) string {
+	const suffix = ".lease"
+	if len(name) > len(suffix) && name[len(name)-len(suffix):] == suffix {
+		return name[:len(name)-len(suffix)]
+	}
+	return name
+}
+
+// runLeasedUnit executes one unit under an active renewal loop. The unit's
+// context is canceled the moment a renewal observes a different generation
+// or owner, so a fenced straggler stops burning CPU promptly; its
+// in-flight checkpoint write (if any) is handled by fenceHooks.
+func runLeasedUnit(ctx context.Context, cfg WorkerConfig, layout Layout, clock Clock, idx int, meta checkpoint.Meta, lease Lease) error {
+	leasePath := layout.UnitLease(meta.FileBase())
+
+	// First renewal happens synchronously: if the dispatch lease aged while
+	// we were scanning (or a stall fault slept in BeforeUnit), this either
+	// revives it under our unchanged generation or detects the fence before
+	// any work runs.
+	renew := func() error {
+		l, ok, err := readLease(leasePath)
+		if err != nil {
+			return err
+		}
+		if ok && (l.Owner != cfg.ID || l.Generation != lease.Generation || l.Kind != KindUnit) {
+			return ErrFenced
+		}
+		// Absent (torn or raced) leases are rewritten under our generation;
+		// if the coordinator meanwhile issued a higher one, its
+		// stale-clobber rule stomps this write and the next renewal fences.
+		next := lease
+		next.Deadline = clock().Add(cfg.TTL).UnixNano()
+		return writeLease(leasePath, next, cfg.AfterLeaseWrite)
+	}
+	if err := renew(); err != nil {
+		return err
+	}
+
+	unitCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	stop := make(chan struct{})
+	renewDone := make(chan struct{})
+	go func() {
+		defer close(renewDone)
+		t := time.NewTicker(cfg.TTL / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-unitCtx.Done():
+				return
+			case <-t.C:
+				if err := renew(); err != nil {
+					cancel(err)
+					return
+				}
+			}
+		}
+	}()
+
+	if cfg.Track != nil {
+		cfg.Track.Observe(meta, false)
+		defer cfg.Track.Observe(meta, true)
+	}
+	err := cfg.Plan.RunUnit(unitCtx, idx, cfg.Store)
+	close(stop)
+	<-renewDone
+	if err != nil {
+		// A context cancellation caused by a fencing renewal surfaces as
+		// the fence error, not a generic cancellation.
+		if cause := context.Cause(unitCtx); cause != nil && errors.Is(cause, ErrFenced) {
+			return ErrFenced
+		}
+		return err
+	}
+	return nil
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
